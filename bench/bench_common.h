@@ -1,0 +1,54 @@
+#ifndef CODES_BENCH_BENCH_COMMON_H_
+#define CODES_BENCH_BENCH_COMMON_H_
+
+// Shared helpers for the table-reproduction harnesses. Each bench binary
+// regenerates one table/figure of the paper and prints it in a fixed-width
+// layout; EXPERIMENTS.md records the paper-vs-measured comparison.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace codes::bench {
+
+/// Fixed-width table printer.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<int> widths) : widths_(std::move(widths)) {}
+
+  void Row(const std::vector<std::string>& cells) const {
+    std::string line;
+    for (size_t i = 0; i < cells.size() && i < widths_.size(); ++i) {
+      std::string cell = cells[i];
+      int width = widths_[i];
+      if (static_cast<int>(cell.size()) > width) cell.resize(width);
+      line += cell;
+      line.append(static_cast<size_t>(width - static_cast<int>(cell.size())),
+                  ' ');
+      line += "  ";
+    }
+    std::printf("%s\n", line.c_str());
+  }
+
+  void Separator() const {
+    size_t total = 0;
+    for (int w : widths_) total += static_cast<size_t>(w) + 2;
+    std::printf("%s\n", std::string(total, '-').c_str());
+  }
+
+ private:
+  std::vector<int> widths_;
+};
+
+inline std::string Pct(double value) { return FormatDouble(value, 1); }
+inline std::string Pct2(double value) { return FormatDouble(value, 2); }
+
+inline void Banner(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace codes::bench
+
+#endif  // CODES_BENCH_BENCH_COMMON_H_

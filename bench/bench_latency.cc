@@ -1,0 +1,78 @@
+// Reproduces Section 9.7 (latency/deployment) and prints the Table 1
+// architecture sheet: per-sample inference latency by model scale, plus
+// the capacity profiles standing in for the transformer hyper-parameters.
+//
+// Paper shape to reproduce: latency grows with scale but stays far below
+// API-based systems (DIN-SQL + GPT-4 at ~60 s/sample); the ratio between
+// 15B and 1B is modest (~2.5x).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/timer.h"
+#include "core/model_zoo.h"
+#include "core/pipeline.h"
+#include "dataset/benchmark_builder.h"
+
+namespace codes {
+namespace {
+
+void Run() {
+  bench::Banner("Table 1: model capacity profiles");
+  bench::TablePrinter arch({12, 8, 8, 8, 8, 8, 8, 8});
+  arch.Row({"model", "params", "hidden", "ffn", "heads", "blocks", "ctx",
+            "ngram"});
+  arch.Separator();
+  int count = 0;
+  const ModelSize* sizes = AllModelSizes(&count);
+  for (int i = 0; i < count; ++i) {
+    const CapacityProfile& p = ProfileFor(sizes[i]);
+    arch.Row({p.name, FormatDouble(p.params_billion, 0) + "B",
+              std::to_string(p.hidden_size), std::to_string(p.ffn_size),
+              std::to_string(p.attention_heads),
+              std::to_string(p.transformer_blocks),
+              std::to_string(p.max_context_tokens),
+              std::to_string(p.ngram_order)});
+  }
+
+  bench::Banner("Section 9.7: inference latency per sample (SFT, Spider)");
+  auto spider = BuildSpiderLike();
+  LmZoo zoo;
+  bench::TablePrinter table({12, 16, 14});
+  table.Row({"model", "ms / sample", "samples / s"});
+  table.Separator();
+  for (int i = 0; i < count; ++i) {
+    ModelSize size = sizes[i];
+    PipelineConfig config;
+    config.size = size;
+    CodesPipeline pipeline(config, zoo.CodesFor(size));
+    pipeline.TrainClassifier(spider);
+    pipeline.FineTune(spider);
+    // Warm the per-database retriever caches so we time inference only.
+    for (const auto& sample : spider.dev) {
+      pipeline.BuildPrompt(spider, sample);
+      break;
+    }
+    Timer timer;
+    int n = 0;
+    for (const auto& sample : spider.dev) {
+      (void)pipeline.Predict(spider, sample);
+      ++n;
+      if (n >= 100) break;
+    }
+    double seconds = timer.ElapsedSeconds();
+    table.Row({ModelSizeName(size), FormatDouble(1000.0 * seconds / n, 2),
+               FormatDouble(n / seconds, 1)});
+  }
+  std::printf(
+      "\npaper reference: 0.6 / 0.9 / 1.1 / 1.5 seconds per sample on an "
+      "A800; DIN-SQL + GPT-4 needs ~60 s per sample.\n");
+}
+
+}  // namespace
+}  // namespace codes
+
+int main() {
+  codes::Run();
+  return 0;
+}

@@ -1,0 +1,158 @@
+// Reproduces Table 10: new-domain adaptation on Bank-Financials and
+// Aminer-Simplified via bi-directional data augmentation, with EX% and the
+// human-evaluation proxy HE%.
+//
+// Paper shape to reproduce:
+//  * zero-shot transfer of Spider/BIRD-fine-tuned models scores low on EX
+//    (annotation/phrasing mismatch) but much higher on HE;
+//  * 3-shot ICL beats zero-shot transfer;
+//  * SFT on augmented data is the strongest single-domain option;
+//  * merged training matches or beats per-domain SFT.
+
+#include <cstdio>
+
+#include "augment/augmentation.h"
+#include "bench/bench_common.h"
+#include "core/model_zoo.h"
+#include "core/pipeline.h"
+#include "dataset/benchmark_builder.h"
+
+namespace codes {
+namespace {
+
+struct MethodResult {
+  double ex = 0;
+  double he = 0;
+};
+
+MethodResult Evaluate(const Text2SqlBenchmark& domain_bench,
+                      const CodesPipeline& pipeline) {
+  int n = 0;
+  double ex = 0, he = 0;
+  for (const auto& sample : domain_bench.dev) {
+    std::string predicted = pipeline.Predict(domain_bench, sample);
+    const sql::Database& db = domain_bench.DbOf(sample);
+    if (ExecutionMatch(db, predicted, sample.sql)) ex += 1;
+    if (LenientExecutionMatch(db, predicted, sample.sql)) he += 1;
+    ++n;
+  }
+  MethodResult result;
+  if (n > 0) {
+    result.ex = 100.0 * ex / n;
+    result.he = 100.0 * he / n;
+  }
+  return result;
+}
+
+void Run() {
+  bench::Banner("Table 10: new-domain adaptation (EX% / HE%)");
+  auto spider = BuildSpiderLike();
+  auto bird = BuildBirdLike();
+  LmZoo zoo;
+  const NgramLm* lm = zoo.CodesFor(ModelSize::k7B);
+
+  AugmentOptions aug;
+  auto bank = BuildNewDomainDataset(BankFinancialsDomain(), 91, aug);
+  AugmentOptions aug2;
+  aug2.seed = 2025;
+  auto aminer = BuildNewDomainDataset(AminerSimplifiedDomain(), 97, aug2);
+
+  bench::TablePrinter table({34, 9, 9, 9, 9});
+  table.Row({"Method", "bank-EX", "bank-HE", "amnr-EX", "amnr-HE"});
+  table.Separator();
+
+  auto print_row = [&table](const std::string& name, MethodResult b,
+                            MethodResult a) {
+    table.Row({name, bench::Pct(b.ex), bench::Pct(b.he), bench::Pct(a.ex),
+               bench::Pct(a.he)});
+  };
+
+  // 3-shot GPT-3.5 proxy: a large base-corpus model, no SQL-centric
+  // pre-training, strong decoding.
+  {
+    PipelineConfig config;
+    config.size = ModelSize::k15B;
+    config.icl_shots = 3;
+    config.extra_model_noise = 0.05;
+    CodesPipeline p_bank(config, zoo.BaseFor(config.size));
+    p_bank.TrainClassifier(bird);
+    p_bank.SetDemonstrationPool(bank.seeds);
+    CodesPipeline p_aminer(config, zoo.BaseFor(config.size));
+    p_aminer.TrainClassifier(bird);
+    p_aminer.SetDemonstrationPool(aminer.seeds);
+    print_row("3-shot GPT-3.5 (proxy)", Evaluate(bank.bench, p_bank),
+              Evaluate(aminer.bench, p_aminer));
+  }
+
+  // Zero-shot transfer: CodeS-7B fine-tuned on Spider / BIRD.
+  for (const auto* source : {&spider, &bird}) {
+    PipelineConfig config;
+    config.size = ModelSize::k7B;
+    CodesPipeline pipeline(config, lm);
+    pipeline.TrainClassifier(*source);
+    pipeline.FineTune(*source);
+    std::string name = (source == &spider) ? "SFT CodeS-7B using Spider"
+                                           : "SFT CodeS-7B using BIRD w/ EK";
+    print_row(name, Evaluate(bank.bench, pipeline),
+              Evaluate(aminer.bench, pipeline));
+  }
+
+  // 3-shot CodeS-7B with the seed pairs as demonstrations.
+  {
+    PipelineConfig config;
+    config.size = ModelSize::k7B;
+    config.icl_shots = 3;
+    CodesPipeline p_bank(config, lm);
+    p_bank.TrainClassifier(bird);  // BIRD classifier transfers (Section 9.6)
+    p_bank.SetDemonstrationPool(bank.seeds);
+    CodesPipeline p_aminer(config, lm);
+    p_aminer.TrainClassifier(bird);
+    p_aminer.SetDemonstrationPool(aminer.seeds);
+    print_row("3-shot CodeS-7B", Evaluate(bank.bench, p_bank),
+              Evaluate(aminer.bench, p_aminer));
+  }
+
+  // SFT on the augmented data (per domain).
+  {
+    PipelineConfig config;
+    config.size = ModelSize::k7B;
+    CodesPipeline p_bank(config, lm);
+    p_bank.TrainClassifier(bird);
+    p_bank.FineTune(bank.bench);
+    CodesPipeline p_aminer(config, lm);
+    p_aminer.TrainClassifier(bird);
+    p_aminer.FineTune(aminer.bench);
+    print_row("SFT CodeS-7B using aug. data", Evaluate(bank.bench, p_bank),
+              Evaluate(aminer.bench, p_aminer));
+  }
+
+  // SFT on merged data: Spider + BIRD + both new domains.
+  {
+    PipelineConfig config;
+    config.size = ModelSize::k7B;
+    CodesPipeline pipeline(config, lm);
+    pipeline.TrainClassifier(bird);
+    std::vector<Text2SqlSample> merged = spider.train;
+    // Re-point db indexes is unnecessary: FineTune only reads questions
+    // and SQL (template identification); masking uses no benchmark here.
+    merged.insert(merged.end(), bird.train.begin(), bird.train.end());
+    merged.insert(merged.end(), bank.bench.train.begin(),
+                  bank.bench.train.end());
+    merged.insert(merged.end(), aminer.bench.train.begin(),
+                  aminer.bench.train.end());
+    pipeline.FineTune(merged);
+    print_row("SFT CodeS-7B using merged data", Evaluate(bank.bench, pipeline),
+              Evaluate(aminer.bench, pipeline));
+  }
+  std::printf(
+      "\npaper reference (bank EX/HE): transfer-from-Spider 11.0/73.6, "
+      "3-shot CodeS-7B 61.5/78.0, aug 71.4/85.7, merged 65.9/84.6\n");
+}
+
+}  // namespace
+}  // namespace codes
+
+int main() {
+  codes::Run();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// New-domain adaptation on Bank-Financials (Section 7 / Section 9.6 of the
+// paper): starting from 30 annotated seed pairs, the bi-directional data
+// augmentation builds a training set, the pipeline fine-tunes on it, and
+// accuracy on real-user-style questions jumps past zero-shot transfer.
+
+#include <cstdio>
+
+#include "augment/augmentation.h"
+#include "core/model_zoo.h"
+#include "core/pipeline.h"
+#include "dataset/benchmark_builder.h"
+#include "eval/metrics.h"
+
+int main() {
+  using namespace codes;
+
+  std::printf("Bank-Financials: new-domain adaptation demo\n\n");
+
+  // The deployment database plus 30 seed pairs and a 60-question test set.
+  AugmentOptions aug;
+  aug.seed_pairs = 30;
+  aug.question_to_sql_pairs = 300;
+  aug.sql_to_question_pairs = 300;
+  NewDomainDataset bank = BuildNewDomainDataset(BankFinancialsDomain(), 60, aug);
+  std::printf("database tables: %zu; seed pairs: %zu; augmented train: %zu; "
+              "test questions: %zu\n\n",
+              bank.bench.databases[0].schema().tables.size(),
+              bank.seeds.size(), bank.bench.train.size(),
+              bank.bench.dev.size());
+
+  std::printf("an augmented training pair:\n  Q: %s\n  S: %s\n\n",
+              bank.bench.train[0].question.c_str(),
+              bank.bench.train[0].sql.c_str());
+
+  LmZoo zoo;
+  Text2SqlBenchmark spider = BuildSpiderLike();
+  EvalOptions options;
+
+  // Path 1: zero-shot transfer of a Spider-fine-tuned model.
+  PipelineConfig config;
+  config.size = ModelSize::k7B;
+  CodesPipeline transfer(config, zoo.CodesFor(config.size));
+  transfer.TrainClassifier(spider);
+  transfer.FineTune(spider);
+  auto m_transfer =
+      EvaluateDevSet(bank.bench, transfer.PredictorFor(bank.bench), options);
+
+  // Path 2: few-shot ICL with the seed pairs as demonstrations.
+  PipelineConfig icl_config = config;
+  icl_config.icl_shots = 3;
+  CodesPipeline icl(icl_config, zoo.CodesFor(config.size));
+  icl.TrainClassifier(spider);
+  icl.SetDemonstrationPool(bank.seeds);
+  auto m_icl = EvaluateDevSet(bank.bench, icl.PredictorFor(bank.bench),
+                              options);
+
+  // Path 3: SFT on the augmented data.
+  CodesPipeline adapted(config, zoo.CodesFor(config.size));
+  adapted.TrainClassifier(spider);
+  adapted.FineTune(bank.bench);
+  auto m_adapted =
+      EvaluateDevSet(bank.bench, adapted.PredictorFor(bank.bench), options);
+
+  std::printf("results on the Bank-Financials test set (EX%%):\n");
+  std::printf("  zero-shot transfer from Spider : %5.1f\n", m_transfer.ex);
+  std::printf("  3-shot ICL with seed pairs     : %5.1f\n", m_icl.ex);
+  std::printf("  SFT on augmented data          : %5.1f\n", m_adapted.ex);
+  std::printf("\nthe paper's Table 10 ordering: augmented SFT > few-shot > "
+              "zero-shot transfer.\n");
+  return 0;
+}

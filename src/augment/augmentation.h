@@ -1,0 +1,62 @@
+#ifndef CODES_AUGMENT_AUGMENTATION_H_
+#define CODES_AUGMENT_AUGMENTATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataset/domains.h"
+#include "dataset/sample.h"
+
+namespace codes {
+
+/// Parameters of the bi-directional data augmentation of Section 7.
+struct AugmentOptions {
+  /// "A few genuine user questions" annotated by hand: the seed pairs.
+  int seed_pairs = 30;
+  /// Question-to-SQL direction: new pairs expanded from the seeds (the
+  /// paper uses GPT-3.5; we use template re-instantiation biased toward
+  /// the seeds' templates plus rule-based paraphrasing).
+  int question_to_sql_pairs = 300;
+  /// SQL-to-question direction: pairs instantiated from the 75-template
+  /// library and refined by the paraphraser.
+  int sql_to_question_pairs = 300;
+  uint64_t seed = 2024;
+};
+
+/// A new-domain deployment dataset (Bank-Financials / Aminer-Simplified in
+/// the paper): one database, a handful of seed pairs, a "real user" test
+/// set, and the augmented training set.
+struct NewDomainDataset {
+  /// bench.databases[0] is the domain database; bench.train holds the
+  /// augmented pairs; bench.dev holds the user-style test questions.
+  Text2SqlBenchmark bench;
+  std::vector<Text2SqlSample> seeds;
+};
+
+/// Rule-based paraphraser standing in for the GPT-3.5 refinement calls:
+/// applies keyword synonyms and carrier phrases stochastically so
+/// questions stop sounding templated.
+std::string ParaphraseQuestion(const std::string& question, Rng& rng);
+
+/// Question-to-SQL augmentation: expands `seeds` into `count` new pairs on
+/// `db`, biased toward the seed questions' intents (their templates).
+std::vector<Text2SqlSample> AugmentQuestionToSql(
+    const sql::Database& db, const std::vector<Text2SqlSample>& seeds,
+    int count, Rng& rng);
+
+/// SQL-to-question augmentation: instantiates the template library across
+/// `db` and refines the questions.
+std::vector<Text2SqlSample> AugmentSqlToQuestion(const sql::Database& db,
+                                                 int count, Rng& rng);
+
+/// Builds a complete new-domain dataset for `domain` (database, seeds,
+/// augmented train set, user-style test set). `test_size` mirrors the
+/// paper's 91/97-question test sets.
+NewDomainDataset BuildNewDomainDataset(const DomainSpec& domain,
+                                       int test_size,
+                                       const AugmentOptions& options);
+
+}  // namespace codes
+
+#endif  // CODES_AUGMENT_AUGMENTATION_H_

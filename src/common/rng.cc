@@ -1,0 +1,61 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace codes {
+
+uint64_t Rng::Next() {
+  state_ += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  CODES_CHECK(lo <= hi);
+  uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  return lo + static_cast<int64_t>(Next() % range);
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+double Rng::Gaussian() {
+  // Box-Muller; avoids log(0) by nudging u1 away from zero.
+  double u1 = UniformDouble();
+  if (u1 < 1e-12) u1 = 1e-12;
+  double u2 = UniformDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
+
+size_t Rng::Index(size_t size) {
+  CODES_CHECK(size > 0);
+  return static_cast<size_t>(Next() % size);
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  CODES_CHECK(!weights.empty());
+  double total = 0;
+  for (double w : weights) total += w;
+  CODES_CHECK(total > 0);
+  double r = UniformDouble() * total;
+  double acc = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+}  // namespace codes

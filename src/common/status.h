@@ -1,0 +1,141 @@
+#ifndef CODES_COMMON_STATUS_H_
+#define CODES_COMMON_STATUS_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace codes {
+
+/// Error category for a failed operation. Mirrors the small set of failure
+/// modes the library can produce; `kOk` means success.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kParseError,      ///< SQL text could not be parsed.
+  kBindError,       ///< SQL parsed but references unknown schema objects.
+  kExecutionError,  ///< SQL bound but failed while executing.
+  kInternal,
+};
+
+/// Returns a short human-readable name for `code` (e.g. "ParseError").
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value, modeled after absl::Status.
+/// The library does not throw exceptions across module boundaries; fallible
+/// functions return `Status` or `Result<T>` instead.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders as "Code: message" for logs and error reports.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error holder, modeled after absl::StatusOr<T>.
+/// Accessing `value()` on an error result aborts the process; callers must
+/// check `ok()` first (or use `value_or`).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or an error keeps call sites terse:
+  /// `return my_value;` / `return Status::ParseError(...)`.
+  Result(T value) : data_(std::move(value)) {}
+  Result(Status status) : data_(std::move(status)) {
+    if (std::get<Status>(data_).ok()) {
+      std::cerr << "Result constructed from OK status\n";
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(data_);
+  }
+
+  T& value() & {
+    CheckOk();
+    return std::get<T>(data_);
+  }
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(data_));
+  }
+
+  T value_or(T fallback) const {
+    if (ok()) return std::get<T>(data_);
+    return fallback;
+  }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::cerr << "Result accessed without value: " << status().ToString()
+                << "\n";
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> data_;
+};
+
+/// CHECK-style invariant macro: aborts with a message when `cond` is false.
+/// Used for programmer errors, never for data-dependent failures.
+#define CODES_CHECK(cond)                                                 \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::cerr << "CHECK failed: " #cond " at " << __FILE__ << ":"       \
+                << __LINE__ << "\n";                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+}  // namespace codes
+
+#endif  // CODES_COMMON_STATUS_H_

@@ -1,0 +1,48 @@
+#ifndef CODES_COMMON_STRING_UTIL_H_
+#define CODES_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace codes {
+
+/// Returns `s` with ASCII letters lowercased.
+std::string ToLower(std::string_view s);
+
+/// Returns `s` with ASCII letters uppercased.
+std::string ToUpper(std::string_view s);
+
+/// Returns `s` without leading/trailing ASCII whitespace.
+std::string Trim(std::string_view s);
+
+/// Splits `s` on the single character `sep`. Empty pieces are kept.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits `s` on runs of ASCII whitespace. Empty pieces are dropped.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Replaces every occurrence of `from` (non-empty) in `s` with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// True if `needle` occurs in `haystack` ignoring ASCII case.
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
+
+/// Formats a double with `digits` digits after the decimal point.
+std::string FormatDouble(double value, int digits);
+
+/// Turns an identifier like "stu_id" or "StudentName" into a lowercase
+/// word sequence: "stu id", "student name". Used to render schema names as
+/// natural-language phrases.
+std::string IdentifierToPhrase(std::string_view identifier);
+
+}  // namespace codes
+
+#endif  // CODES_COMMON_STRING_UTIL_H_

@@ -1,0 +1,67 @@
+#include "core/model_zoo.h"
+
+#include "common/status.h"
+#include "corpus/pretrain_corpus.h"
+
+namespace codes {
+
+LmZoo::LmZoo(int scale, uint64_t seed) {
+  std::vector<std::string> base_corpus =
+      BuildBaseCodeCorpus(2500 * scale, seed);
+  CorpusSlices slices = BuildPretrainCorpus(scale, seed ^ 0xABCDEF);
+
+  for (int order = 2; order <= 5; ++order) {
+    auto base = std::make_unique<NgramLm>(order);
+    base->Train(base_corpus, /*epochs=*/1);
+
+    // Incremental pre-training starts from the base model's counts.
+    auto codes = std::make_unique<NgramLm>(*base);
+    codes->Train(slices.sql_related, /*epochs=*/2);
+    codes->Train(slices.nl_related, /*epochs=*/1);
+    codes->Train(slices.nl_to_code, /*epochs=*/1);
+
+    base_.push_back(std::move(base));
+    codes_.push_back(std::move(codes));
+  }
+}
+
+const NgramLm& LmZoo::Base(int order) const {
+  CODES_CHECK(order >= 2 && order <= 5);
+  return *base_[static_cast<size_t>(order - 2)];
+}
+
+const NgramLm& LmZoo::Codes(int order) const {
+  CODES_CHECK(order >= 2 && order <= 5);
+  return *codes_[static_cast<size_t>(order - 2)];
+}
+
+const NgramLm* LmZoo::BaseFor(ModelSize size) const {
+  return &Base(ProfileFor(size).ngram_order);
+}
+
+const NgramLm* LmZoo::CodesFor(ModelSize size) const {
+  return &Codes(ProfileFor(size).ngram_order);
+}
+
+std::vector<BaselineSpec> Table4Baselines() {
+  return {
+      {"StarCoderBase-1B", ModelSize::k1B, false, 0.00},
+      {"StarCoderBase-3B", ModelSize::k3B, false, 0.00},
+      {"CodeGen-mono-6B", ModelSize::k7B, false, 0.30},
+      {"StarCoderBase-7B", ModelSize::k7B, false, 0.00},
+      {"CodeGen2-7B", ModelSize::k7B, false, 0.26},
+      {"Llama2-7B", ModelSize::k7B, false, 0.42},
+      {"Llama2-13B", ModelSize::k15B, false, 0.36},
+      {"StarCoderBase-15B", ModelSize::k15B, false, 0.00},
+      {"StarCoder-15B", ModelSize::k15B, false, 0.00},
+      {"StarCoderPlus-15B", ModelSize::k15B, false, 0.08},
+      {"CodeGen-mono-16B", ModelSize::k15B, false, 0.28},
+      {"CodeGen2-16B", ModelSize::k15B, false, 0.24},
+      {"CodeS-1B", ModelSize::k1B, true, 0.00},
+      {"CodeS-3B", ModelSize::k3B, true, 0.00},
+      {"CodeS-7B", ModelSize::k7B, true, 0.00},
+      {"CodeS-15B", ModelSize::k15B, true, 0.00},
+  };
+}
+
+}  // namespace codes

@@ -1,0 +1,147 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace codes {
+
+namespace {
+
+/// Stable 64-bit hash of a string (FNV-1a), used to derive per-sample
+/// generation seeds so predictions are deterministic.
+uint64_t HashString(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Rough token cost of including a demonstration in the prompt.
+int DemoTokenCost(const Text2SqlSample& sample) {
+  return CountPromptTokens(sample.question) +
+         CountPromptTokens(sample.sql) + 4;
+}
+
+}  // namespace
+
+CodesPipeline::CodesPipeline(const PipelineConfig& config, const NgramLm* lm)
+    : config_(config), model_(config.size, lm) {
+  model_.set_extra_noise(config.extra_model_noise);
+}
+
+void CodesPipeline::TrainClassifier(const Text2SqlBenchmark& bench) {
+  classifier_ = std::make_shared<SchemaItemClassifier>();
+  SchemaItemClassifier::TrainOptions options;
+  options.seed = config_.seed ^ 0xC1A55;
+  classifier_->Train(bench, options);
+}
+
+void CodesPipeline::ShareClassifier(
+    std::shared_ptr<SchemaItemClassifier> classifier) {
+  classifier_ = std::move(classifier);
+}
+
+void CodesPipeline::FineTune(const std::vector<Text2SqlSample>& train,
+                             int max_samples) {
+  model_.FineTune(train, max_samples);
+}
+
+void CodesPipeline::FineTune(const Text2SqlBenchmark& bench,
+                             int max_samples) {
+  model_.FineTune(bench.train, &bench, max_samples);
+}
+
+void CodesPipeline::SetDemonstrationPool(
+    const std::vector<Text2SqlSample>& pool) {
+  demo_pool_ = pool;
+  DemonstrationRetriever::Options options;
+  options.embedding_dim = model_.profile().embedding_dim;
+  options.use_pattern_similarity = config_.use_pattern_similarity;
+  demo_retriever_ = std::make_unique<DemonstrationRetriever>(pool, options);
+}
+
+const ValueRetriever* CodesPipeline::RetrieverFor(
+    const sql::Database& db) const {
+  if (!config_.prompt.use_value_retriever) return nullptr;
+  auto it = retriever_cache_.find(&db);
+  if (it == retriever_cache_.end()) {
+    auto retriever = std::make_unique<ValueRetriever>();
+    retriever->BuildIndex(db);
+    it = retriever_cache_.emplace(&db, std::move(retriever)).first;
+  }
+  return it->second.get();
+}
+
+std::string CodesPipeline::QuestionWithEk(
+    const Text2SqlSample& sample) const {
+  std::string question = sample.question;
+  if (config_.use_external_knowledge && !sample.external_knowledge.empty()) {
+    question += " ; " + sample.external_knowledge;
+  }
+  return question;
+}
+
+DatabasePrompt CodesPipeline::BuildPrompt(const Text2SqlBenchmark& bench,
+                                          const Text2SqlSample& sample) const {
+  const sql::Database& db = bench.DbOf(sample);
+  std::string question = QuestionWithEk(sample);
+
+  // The prompt budget is the model's context window minus demonstration
+  // space (which is why the paper shrinks top-k1/k2 for few-shot mode).
+  PromptOptions options = config_.prompt;
+  options.max_prompt_tokens = std::min(options.max_prompt_tokens,
+                                       model_.profile().max_context_tokens);
+  if (config_.icl_shots > 0 && !demo_pool_.empty()) {
+    int avg_demo = DemoTokenCost(demo_pool_[0]);
+    options.max_prompt_tokens = std::max(
+        256, options.max_prompt_tokens - config_.icl_shots * avg_demo);
+  }
+
+  PromptBuilder builder(classifier_.get(), options);
+  return builder.Build(db, question, RetrieverFor(db));
+}
+
+std::string CodesPipeline::Predict(const Text2SqlBenchmark& bench,
+                                   const Text2SqlSample& sample) const {
+  const sql::Database& db = bench.DbOf(sample);
+  DatabasePrompt prompt = BuildPrompt(bench, sample);
+
+  GenerationInput input;
+  input.db = &db;
+  input.prompt = &prompt;
+  input.question = sample.question;
+  if (config_.use_external_knowledge) {
+    input.external_knowledge = sample.external_knowledge;
+  }
+
+  std::vector<const Text2SqlSample*> demos;
+  if (config_.icl_shots > 0 && !demo_pool_.empty()) {
+    if (config_.random_demonstrations || demo_retriever_ == nullptr) {
+      Rng rng(config_.seed ^ HashString(sample.question));
+      for (int i = 0; i < config_.icl_shots; ++i) {
+        demos.push_back(&demo_pool_[rng.Index(demo_pool_.size())]);
+      }
+    } else {
+      for (int idx : demo_retriever_->TopK(QuestionWithEk(sample),
+                                           config_.icl_shots)) {
+        demos.push_back(&demo_pool_[static_cast<size_t>(idx)]);
+      }
+    }
+  }
+  input.demonstrations = std::move(demos);
+
+  uint64_t seed = config_.seed ^ HashString(sample.question);
+  return model_.Generate(input, seed);
+}
+
+SqlPredictor CodesPipeline::PredictorFor(
+    const Text2SqlBenchmark& bench) const {
+  return [this, &bench](const Text2SqlSample& sample) {
+    return Predict(bench, sample);
+  };
+}
+
+}  // namespace codes

@@ -1,0 +1,107 @@
+#ifndef CODES_CORE_PIPELINE_H_
+#define CODES_CORE_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dataset/sample.h"
+#include "eval/metrics.h"
+#include "generator/codes_model.h"
+#include "lm/ngram_lm.h"
+#include "linker/schema_classifier.h"
+#include "prompt/prompt_builder.h"
+#include "retrieval/demonstration_retriever.h"
+#include "retrieval/value_retriever.h"
+
+namespace codes {
+
+/// End-to-end configuration of a text-to-SQL deployment: model scale,
+/// prompt construction knobs, EK usage, and the inference mode (SFT after
+/// FineTune(), or few-shot ICL with `icl_shots` > 0).
+struct PipelineConfig {
+  ModelSize size = ModelSize::k7B;
+  PromptOptions prompt;
+  bool use_external_knowledge = false;
+  int icl_shots = 0;
+  /// Table 9 ablations of the demonstration retriever.
+  bool random_demonstrations = false;
+  bool use_pattern_similarity = true;
+  /// Extra decode noise for emulating weaker baseline families.
+  double extra_model_noise = 0.0;
+  uint64_t seed = 99;
+};
+
+/// The public entry point of the library: owns the model, the schema item
+/// classifier, per-database value-retriever indexes, and the demonstration
+/// pool, and turns (database, question) into SQL.
+///
+/// Typical SFT usage:
+///   CodesPipeline pipeline(config, &lm);
+///   pipeline.TrainClassifier(bench);
+///   pipeline.FineTune(bench);
+///   std::string sql = pipeline.Predict(bench, sample);
+///
+/// Typical few-shot usage (no fine-tuning):
+///   config.icl_shots = 3;
+///   CodesPipeline pipeline(config, &lm);
+///   pipeline.SetDemonstrationPool(bench.train);
+///   std::string sql = pipeline.Predict(bench, sample);
+class CodesPipeline {
+ public:
+  /// `lm` must outlive the pipeline (pass the incrementally pre-trained
+  /// CodeS LM, or a base-code LM for StarCoder-style baselines).
+  CodesPipeline(const PipelineConfig& config, const NgramLm* lm);
+
+  /// Trains the schema item classifier on `bench.train` (required before
+  /// prompts with schema filtering can be built well).
+  void TrainClassifier(const Text2SqlBenchmark& bench);
+
+  /// Shares an already-trained classifier (e.g. the BIRD classifier reused
+  /// on new domains, Section 9.6).
+  void ShareClassifier(std::shared_ptr<SchemaItemClassifier> classifier);
+
+  /// Supervised fine-tuning on `train`. Pass the owning benchmark when
+  /// available so the model can mask schema words per sample.
+  void FineTune(const std::vector<Text2SqlSample>& train,
+                int max_samples = -1);
+  void FineTune(const Text2SqlBenchmark& bench, int max_samples = -1);
+
+  /// Sets the demonstration pool for few-shot ICL.
+  void SetDemonstrationPool(const std::vector<Text2SqlSample>& pool);
+
+  /// Predicts SQL for one sample of `bench`.
+  std::string Predict(const Text2SqlBenchmark& bench,
+                      const Text2SqlSample& sample) const;
+
+  /// Convenience: an eval::SqlPredictor bound to `bench`.
+  SqlPredictor PredictorFor(const Text2SqlBenchmark& bench) const;
+
+  /// Builds the database prompt the model would see for this sample
+  /// (exposed for examples and diagnostics).
+  DatabasePrompt BuildPrompt(const Text2SqlBenchmark& bench,
+                             const Text2SqlSample& sample) const;
+
+  CodesModel& model() { return model_; }
+  const CodesModel& model() const { return model_; }
+  const SchemaItemClassifier* classifier() const { return classifier_.get(); }
+  const PipelineConfig& config() const { return config_; }
+
+ private:
+  const ValueRetriever* RetrieverFor(const sql::Database& db) const;
+  std::string QuestionWithEk(const Text2SqlSample& sample) const;
+
+  PipelineConfig config_;
+  CodesModel model_;
+  std::shared_ptr<SchemaItemClassifier> classifier_;
+  std::unique_ptr<DemonstrationRetriever> demo_retriever_;
+  std::vector<Text2SqlSample> demo_pool_;
+  mutable std::unordered_map<const sql::Database*,
+                             std::unique_ptr<ValueRetriever>>
+      retriever_cache_;
+};
+
+}  // namespace codes
+
+#endif  // CODES_CORE_PIPELINE_H_

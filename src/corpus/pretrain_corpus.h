@@ -1,0 +1,34 @@
+#ifndef CODES_CORPUS_PRETRAIN_CORPUS_H_
+#define CODES_CORPUS_PRETRAIN_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace codes {
+
+/// The three slices of the paper's 21.5 GB incremental pre-training corpus
+/// (Section 5.1), synthesized at CPU scale. Relative sizes keep the
+/// paper's 11 : 4.5 : 6 ratio.
+struct CorpusSlices {
+  std::vector<std::string> sql_related;  ///< SQL queries (StarCoder's SQL slice)
+  std::vector<std::string> nl_related;   ///< dialog/instruction sentences
+  std::vector<std::string> nl_to_code;   ///< comment+code pairs incl. NL-SQL
+};
+
+/// Builds the SQL-centric incremental pre-training corpus. `scale` is a
+/// document-count multiplier (scale 1 ≈ 2150 documents in the 11:4.5:6
+/// ratio).
+CorpusSlices BuildPretrainCorpus(int scale, uint64_t seed);
+
+/// Builds the "StarCoder base" corpus: a mixture over many programming
+/// languages where SQL is only a small fraction — exactly the data-bias
+/// problem (C1) the paper's incremental pre-training corrects.
+std::vector<std::string> BuildBaseCodeCorpus(int num_documents, uint64_t seed);
+
+/// Builds a held-out set of SQL queries for perplexity evaluation.
+std::vector<std::string> BuildSqlEvalSet(int num_queries, uint64_t seed);
+
+}  // namespace codes
+
+#endif  // CODES_CORPUS_PRETRAIN_CORPUS_H_

@@ -1,0 +1,46 @@
+#ifndef CODES_DATASET_BENCHMARK_BUILDER_H_
+#define CODES_DATASET_BENCHMARK_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "dataset/db_generator.h"
+#include "dataset/sample.h"
+
+namespace codes {
+
+/// Parameters of a generated text-to-SQL benchmark.
+struct BenchmarkConfig {
+  std::string name = "benchmark";
+  DbProfile profile = DbProfile::Spider();
+  /// Number of domains used for training databases; the remaining domains
+  /// become dev databases — dev schemas are never seen in training
+  /// (Spider's cross-domain protocol).
+  int train_domains = 14;
+  int dev_domains = 6;
+  int train_samples_per_db = 60;
+  int dev_samples_per_db = 25;
+  /// Attach BIRD-style external-knowledge hints to samples whose schema
+  /// uses ambiguous (abbreviated) column names.
+  bool with_external_knowledge = false;
+  uint64_t seed = 20240601;
+};
+
+/// Builds a benchmark: generates databases per domain, splits domains into
+/// train/dev, and samples (question, SQL) pairs from the template grammar.
+/// Every sample's SQL is validated to execute on its database.
+Text2SqlBenchmark BuildBenchmark(const BenchmarkConfig& config);
+
+/// Preset mirroring Spider: clean schemas, compact tables.
+Text2SqlBenchmark BuildSpiderLike(uint64_t seed = 20240601);
+
+/// Preset mirroring BIRD: ambiguous abbreviated schemas with comments,
+/// wide tables, larger and dirtier contents, EK hints available.
+Text2SqlBenchmark BuildBirdLike(uint64_t seed = 20240602);
+
+/// Scaled-down presets for unit tests and quick benches.
+Text2SqlBenchmark BuildTinySpiderLike(uint64_t seed = 7);
+
+}  // namespace codes
+
+#endif  // CODES_DATASET_BENCHMARK_BUILDER_H_

@@ -1,0 +1,253 @@
+#include "dataset/db_generator.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace codes {
+
+namespace {
+
+/// Filler column kinds cycle deterministically so that contents can be
+/// regenerated from the schema alone (needed by RegenerateContents).
+constexpr ValueKind kFillerKinds[] = {
+    ValueKind::kSmallInt, ValueKind::kWord,  ValueKind::kMoney,
+    ValueKind::kCode,     ValueKind::kDate,  ValueKind::kRate,
+    ValueKind::kBigInt,   ValueKind::kYesNo,
+};
+constexpr const char* kFillerNames[] = {
+    "audit_metric",  "internal_tag",   "adjustment_value", "reference_code",
+    "record_stamp",  "weight_factor",  "sequence_number",  "verified_flag",
+};
+
+ValueKind FillerKind(int filler_index) {
+  return kFillerKinds[filler_index % 8];
+}
+std::string FillerName(int filler_index) {
+  std::string base = kFillerNames[filler_index % 8];
+  if (filler_index >= 8) base += "_" + std::to_string(filler_index / 8 + 1);
+  return base;
+}
+
+std::string MangleText(const std::string& text, Rng& rng) {
+  switch (rng.UniformInt(0, 2)) {
+    case 0:
+      return ToUpper(text);
+    case 1:
+      return ToLower(text);
+    default:
+      return " " + text;  // stray leading whitespace, a classic dirty value
+  }
+}
+
+/// Kinds for every column of every table, in schema order, recomputed from
+/// the domain spec + profile (concept kinds then cycled filler kinds).
+std::vector<std::vector<ValueKind>> ColumnKinds(const DomainSpec& domain,
+                                                const DbProfile& profile) {
+  std::vector<std::vector<ValueKind>> kinds;
+  for (const auto& table : domain.tables) {
+    std::vector<ValueKind> table_kinds;
+    for (const auto& col : table.columns) table_kinds.push_back(col.kind);
+    for (int f = 0; f < profile.filler_columns; ++f) {
+      table_kinds.push_back(FillerKind(f));
+    }
+    kinds.push_back(std::move(table_kinds));
+  }
+  return kinds;
+}
+
+/// Fills `db` with rows. FK columns (identified via the schema's FK list)
+/// receive valid parent ids; other columns draw from their value kind.
+void Populate(sql::Database& db, const DomainSpec& domain,
+              const DbProfile& profile, Rng& rng) {
+  auto kinds = ColumnKinds(domain, profile);
+  const auto& schema = db.schema();
+
+  // Row counts per table, parents first (spec order has parents first).
+  std::vector<int> row_counts;
+  for (size_t t = 0; t < schema.tables.size(); ++t) {
+    row_counts.push_back(
+        static_cast<int>(rng.UniformInt(profile.min_rows, profile.max_rows)));
+  }
+
+  // FK map: (table_idx, col_idx) -> parent table_idx.
+  std::unordered_map<int64_t, int> fk_parent;
+  for (const auto& fk : schema.foreign_keys) {
+    auto t = schema.FindTable(fk.table);
+    auto rt = schema.FindTable(fk.ref_table);
+    if (!t || !rt) continue;
+    auto c = schema.tables[*t].FindColumn(fk.column);
+    if (!c) continue;
+    fk_parent[(static_cast<int64_t>(*t) << 32) | *c] = *rt;
+  }
+
+  for (size_t t = 0; t < schema.tables.size(); ++t) {
+    const auto& table_def = schema.tables[t];
+    for (int r = 0; r < row_counts[t]; ++r) {
+      std::vector<sql::Value> row;
+      row.reserve(table_def.columns.size());
+      for (size_t c = 0; c < table_def.columns.size(); ++c) {
+        ValueKind kind = kinds[t][c];
+        auto fk_it = fk_parent.find((static_cast<int64_t>(t) << 32) |
+                                    static_cast<int64_t>(c));
+        if (fk_it != fk_parent.end()) {
+          row.push_back(
+              sql::Value(rng.UniformInt(1, row_counts[fk_it->second])));
+          continue;
+        }
+        if (kind == ValueKind::kSequentialId) {
+          row.push_back(sql::Value(static_cast<int64_t>(r + 1)));
+          continue;
+        }
+        if (!table_def.columns[c].is_primary_key &&
+            rng.Bernoulli(profile.null_probability)) {
+          row.push_back(sql::Value());
+          continue;
+        }
+        sql::Value v = DrawValue(kind, r, rng);
+        if (v.is_text() && rng.Bernoulli(profile.dirty_probability)) {
+          v = sql::Value(MangleText(v.AsText(), rng));
+        }
+        row.push_back(std::move(v));
+      }
+      CODES_CHECK(db.Insert(table_def.name, std::move(row)).ok());
+    }
+  }
+}
+
+}  // namespace
+
+DbProfile DbProfile::Spider() {
+  DbProfile p;
+  p.abbreviate_names = false;
+  p.filler_columns = 0;
+  p.min_rows = 40;
+  p.max_rows = 120;
+  p.null_probability = 0.03;
+  p.dirty_probability = 0.0;
+  return p;
+}
+
+DbProfile DbProfile::Bird() {
+  DbProfile p;
+  p.abbreviate_names = true;
+  p.filler_columns = 8;
+  p.min_rows = 150;
+  p.max_rows = 400;
+  p.null_probability = 0.06;
+  p.dirty_probability = 0.12;
+  p.hidden_comment_probability = 0.45;
+  return p;
+}
+
+std::string AbbreviateIdentifier(const std::string& name) {
+  auto words = Split(name, '_');
+  std::string out;
+  if (words.size() >= 2) {
+    for (const auto& w : words) {
+      if (!w.empty()) out += w[0];
+    }
+  } else {
+    out = name.substr(0, 4);
+  }
+  return ToLower(out);
+}
+
+std::string ColumnPhrase(const sql::ColumnDef& col) {
+  if (!col.comment.empty()) return col.comment;
+  return IdentifierToPhrase(col.name);
+}
+
+std::string TablePhrase(const sql::TableDef& table) {
+  return IdentifierToPhrase(table.name);
+}
+
+sql::Database GenerateDatabase(const DomainSpec& domain,
+                               const DbProfile& profile, Rng& rng,
+                               const std::string& instance_salt) {
+  sql::DatabaseSchema schema;
+  schema.name = domain.name + (instance_salt.empty() ? "" : "_" + instance_salt);
+
+  // Old->new column-name maps per table for FK rewriting.
+  std::unordered_map<std::string, std::unordered_map<std::string, std::string>>
+      renames;
+
+  for (const auto& table_concept : domain.tables) {
+    sql::TableDef table;
+    table.name = table_concept.name;
+    table.comment = table_concept.comment;
+    std::unordered_set<std::string> used_names;
+    auto& table_renames = renames[table_concept.name];
+    for (size_t c = 0; c < table_concept.columns.size(); ++c) {
+      const auto& col_concept = table_concept.columns[c];
+      sql::ColumnDef col;
+      col.type = TypeOfKind(col_concept.kind);
+      col.is_primary_key = (c == 0);
+      if (profile.abbreviate_names && !col.is_primary_key) {
+        col.name = AbbreviateIdentifier(col_concept.name);
+        // Ensure uniqueness within the table.
+        std::string base = col.name;
+        int suffix = 2;
+        while (used_names.count(col.name)) {
+          col.name = base + std::to_string(suffix++);
+        }
+        col.comment = col_concept.comment.empty()
+                          ? IdentifierToPhrase(col_concept.name)
+                          : col_concept.comment;
+      } else {
+        col.name = col_concept.name;
+        col.comment = col_concept.comment;
+      }
+      used_names.insert(col.name);
+      table_renames[col_concept.name] = col.name;
+      table.columns.push_back(std::move(col));
+    }
+    for (int f = 0; f < profile.filler_columns; ++f) {
+      sql::ColumnDef col;
+      std::string full = FillerName(f);
+      col.type = TypeOfKind(FillerKind(f));
+      if (profile.abbreviate_names) {
+        col.name = AbbreviateIdentifier(full);
+        std::string base = col.name;
+        int suffix = 2;
+        while (used_names.count(col.name)) {
+          col.name = base + std::to_string(suffix++);
+        }
+        col.comment = IdentifierToPhrase(full);
+      } else {
+        col.name = full;
+      }
+      used_names.insert(col.name);
+      table.columns.push_back(std::move(col));
+    }
+    schema.tables.push_back(std::move(table));
+  }
+
+  for (const auto& fk : domain.fks) {
+    sql::ForeignKey out;
+    out.table = fk.table;
+    out.column = renames[fk.table].count(fk.column)
+                     ? renames[fk.table][fk.column]
+                     : fk.column;
+    out.ref_table = fk.ref_table;
+    out.ref_column = renames[fk.ref_table].count(fk.ref_column)
+                         ? renames[fk.ref_table][fk.ref_column]
+                         : fk.ref_column;
+    schema.foreign_keys.push_back(std::move(out));
+  }
+
+  sql::Database db(std::move(schema));
+  Populate(db, domain, profile, rng);
+  return db;
+}
+
+sql::Database RegenerateContents(const sql::Database& db,
+                                 const DomainSpec& domain,
+                                 const DbProfile& profile, Rng& rng) {
+  sql::Database fresh(db.schema());
+  Populate(fresh, domain, profile, rng);
+  return fresh;
+}
+
+}  // namespace codes

@@ -1,0 +1,62 @@
+#ifndef CODES_DATASET_DB_GENERATOR_H_
+#define CODES_DATASET_DB_GENERATOR_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "dataset/domains.h"
+#include "sqlengine/database.h"
+
+namespace codes {
+
+/// Controls the character of a generated database. Two built-in profiles
+/// model the paper's benchmarks:
+///  * Spider(): clean full-word schema names, small tables.
+///  * Bird(): abbreviated/ambiguous column names whose full meaning lives
+///    in comments, wide tables (filler columns), larger and dirtier data.
+struct DbProfile {
+  bool abbreviate_names = false;
+  int filler_columns = 0;       ///< extra distractor columns per table
+  int min_rows = 40;
+  int max_rows = 120;
+  double null_probability = 0.03;
+  double dirty_probability = 0.0;  ///< text-value case/space mangling
+  /// Fraction of abbreviated columns whose comment is *hidden* from the
+  /// schema after question generation: the question still uses the full
+  /// concept phrase, but only the sample's external-knowledge hint maps
+  /// the phrase to the column — BIRD's evidence mechanism.
+  double hidden_comment_probability = 0.0;
+
+  static DbProfile Spider();
+  static DbProfile Bird();
+};
+
+/// Abbreviates a snake_case identifier: multi-word names collapse to their
+/// initials ("road_overtime_losses" -> "rotl"); single words truncate to
+/// four characters. Mirrors BIRD's ambiguous column naming (Table 2).
+std::string AbbreviateIdentifier(const std::string& name);
+
+/// Human phrase a question should use for a column: its comment when
+/// present, else the identifier rendered as words.
+std::string ColumnPhrase(const sql::ColumnDef& col);
+
+/// Human phrase for a table.
+std::string TablePhrase(const sql::TableDef& table);
+
+/// Materializes `domain` into a populated database according to `profile`.
+/// `instance_salt` perturbs naming so several databases can share a domain;
+/// rows, value draws, and row counts come from `rng`. Foreign-key columns
+/// are filled with valid parent ids.
+sql::Database GenerateDatabase(const DomainSpec& domain,
+                               const DbProfile& profile, Rng& rng,
+                               const std::string& instance_salt = "");
+
+/// Regenerates the *contents* of `db` (same schema, fresh rows) — the
+/// database-augmentation step behind test-suite accuracy (Section 9.1.2).
+sql::Database RegenerateContents(const sql::Database& db,
+                                 const DomainSpec& domain,
+                                 const DbProfile& profile, Rng& rng);
+
+}  // namespace codes
+
+#endif  // CODES_DATASET_DB_GENERATOR_H_

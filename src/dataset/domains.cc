@@ -1,0 +1,485 @@
+#include "dataset/domains.h"
+
+namespace codes {
+
+namespace {
+
+using VK = ValueKind;
+
+ColumnConcept Col(std::string name, VK kind, std::string comment = "") {
+  return ColumnConcept{std::move(name), kind, std::move(comment)};
+}
+
+TableConcept Table(std::string name, std::string comment,
+                   std::vector<ColumnConcept> columns) {
+  return TableConcept{std::move(name), std::move(comment),
+                      std::move(columns)};
+}
+
+FkConcept Fk(std::string table, std::string column, std::string ref_table,
+             std::string ref_column) {
+  return FkConcept{std::move(table), std::move(column), std::move(ref_table),
+                   std::move(ref_column)};
+}
+
+std::vector<DomainSpec> BuildDomains() {
+  std::vector<DomainSpec> domains;
+
+  domains.push_back(DomainSpec{
+      "concerts",
+      {Table("singer", "performing artists",
+             {Col("singer_id", VK::kSequentialId), Col("name", VK::kPersonName),
+              Col("age", VK::kSmallInt), Col("country", VK::kCountry),
+              Col("genre", VK::kWord)}),
+       Table("concert", "scheduled concerts",
+             {Col("concert_id", VK::kSequentialId),
+              Col("concert_title", VK::kTitleWords),
+              Col("singer_id", VK::kSmallInt, "performing singer"),
+              Col("city", VK::kCity), Col("year", VK::kYear),
+              Col("attendance", VK::kBigInt)})},
+      {Fk("concert", "singer_id", "singer", "singer_id")}});
+
+  domains.push_back(DomainSpec{
+      "schools",
+      {Table("student", "enrolled students",
+             {Col("student_id", VK::kSequentialId),
+              Col("student_name", VK::kPersonName), Col("age", VK::kSmallInt),
+              Col("major", VK::kWord), Col("home_city", VK::kCity),
+              Col("grade_point", VK::kRate, "grade point average")}),
+       Table("course", "offered courses",
+             {Col("course_id", VK::kSequentialId),
+              Col("course_title", VK::kTitleWords),
+              Col("credits", VK::kSmallInt), Col("department", VK::kWord)}),
+       Table("enrollment", "student course registrations",
+             {Col("enrollment_id", VK::kSequentialId),
+              Col("student_id", VK::kSmallInt, "enrolled student"),
+              Col("course_id", VK::kSmallInt, "registered course"),
+              Col("score", VK::kSmallInt, "final score")})},
+      {Fk("enrollment", "student_id", "student", "student_id"),
+       Fk("enrollment", "course_id", "course", "course_id")}});
+
+  domains.push_back(DomainSpec{
+      "flights",
+      {Table("airline", "airline companies",
+             {Col("airline_id", VK::kSequentialId),
+              Col("airline_name", VK::kCompany), Col("country", VK::kCountry),
+              Col("fleet_size", VK::kSmallInt)}),
+       Table("airport", "airports served",
+             {Col("airport_id", VK::kSequentialId),
+              Col("airport_name", VK::kTitleWords), Col("city", VK::kCity),
+              Col("passenger_count", VK::kBigInt, "passengers per year")}),
+       Table("flight", "scheduled flights",
+             {Col("flight_id", VK::kSequentialId),
+              Col("flight_code", VK::kCode),
+              Col("airline_id", VK::kSmallInt, "operating airline"),
+              Col("airport_id", VK::kSmallInt, "departure airport"),
+              Col("distance", VK::kBigInt, "distance in km"),
+              Col("price", VK::kMoney, "ticket price")})},
+      {Fk("flight", "airline_id", "airline", "airline_id"),
+       Fk("flight", "airport_id", "airport", "airport_id")}});
+
+  domains.push_back(DomainSpec{
+      "employees",
+      {Table("department", "company departments",
+             {Col("department_id", VK::kSequentialId),
+              Col("department_name", VK::kWord), Col("budget", VK::kMoney),
+              Col("city", VK::kCity)}),
+       Table("employee", "company staff",
+             {Col("employee_id", VK::kSequentialId),
+              Col("employee_name", VK::kPersonName),
+              Col("department_id", VK::kSmallInt, "assigned department"),
+              Col("salary", VK::kMoney, "annual salary"),
+              Col("hire_date", VK::kDate, "date of hiring"),
+              Col("gender", VK::kGender, "employee gender")})},
+      {Fk("employee", "department_id", "department", "department_id")}});
+
+  domains.push_back(DomainSpec{
+      "shops",
+      {Table("shop", "retail locations",
+             {Col("shop_id", VK::kSequentialId),
+              Col("shop_name", VK::kCompany), Col("city", VK::kCity),
+              Col("open_year", VK::kYear)}),
+       Table("product", "catalog items",
+             {Col("product_id", VK::kSequentialId),
+              Col("product_name", VK::kTitleWords),
+              Col("category", VK::kWord), Col("price", VK::kMoney)}),
+       Table("sale", "sales transactions",
+             {Col("sale_id", VK::kSequentialId),
+              Col("shop_id", VK::kSmallInt, "selling shop"),
+              Col("product_id", VK::kSmallInt, "sold product"),
+              Col("quantity", VK::kSmallInt),
+              Col("sale_date", VK::kDate, "date of sale")})},
+      {Fk("sale", "shop_id", "shop", "shop_id"),
+       Fk("sale", "product_id", "product", "product_id")}});
+
+  domains.push_back(DomainSpec{
+      "hospital",
+      {Table("doctor", "medical staff",
+             {Col("doctor_id", VK::kSequentialId),
+              Col("doctor_name", VK::kPersonName),
+              Col("specialty", VK::kWord), Col("experience_years", VK::kSmallInt)}),
+       Table("patient", "registered patients",
+             {Col("patient_id", VK::kSequentialId),
+              Col("patient_name", VK::kPersonName), Col("age", VK::kSmallInt),
+              Col("city", VK::kCity), Col("gender", VK::kGender)}),
+       Table("appointment", "scheduled visits",
+             {Col("appointment_id", VK::kSequentialId),
+              Col("doctor_id", VK::kSmallInt, "attending doctor"),
+              Col("patient_id", VK::kSmallInt, "visiting patient"),
+              Col("visit_date", VK::kDate), Col("fee", VK::kMoney)})},
+      {Fk("appointment", "doctor_id", "doctor", "doctor_id"),
+       Fk("appointment", "patient_id", "patient", "patient_id")}});
+
+  domains.push_back(DomainSpec{
+      "library",
+      {Table("author", "book authors",
+             {Col("author_id", VK::kSequentialId),
+              Col("author_name", VK::kPersonName),
+              Col("country", VK::kCountry), Col("birth_year", VK::kYear)}),
+       Table("book", "catalogued books",
+             {Col("book_id", VK::kSequentialId),
+              Col("title", VK::kTitleWords),
+              Col("author_id", VK::kSmallInt, "writer of the book"),
+              Col("publish_year", VK::kYear), Col("page_count", VK::kBigInt),
+              Col("language", VK::kWord)})},
+      {Fk("book", "author_id", "author", "author_id")}});
+
+  domains.push_back(DomainSpec{
+      "sports",
+      {Table("team", "league teams",
+             {Col("team_id", VK::kSequentialId), Col("team_name", VK::kCompany),
+              Col("home_city", VK::kCity), Col("founded_year", VK::kYear)}),
+       Table("player", "rostered players",
+             {Col("player_id", VK::kSequentialId),
+              Col("player_name", VK::kPersonName),
+              Col("team_id", VK::kSmallInt, "current team"),
+              Col("position", VK::kWord), Col("goals", VK::kSmallInt),
+              Col("salary", VK::kMoney)})},
+      {Fk("player", "team_id", "team", "team_id")}});
+
+  domains.push_back(DomainSpec{
+      "restaurants",
+      {Table("restaurant", "dining establishments",
+             {Col("restaurant_id", VK::kSequentialId),
+              Col("restaurant_name", VK::kCompany), Col("city", VK::kCity),
+              Col("cuisine", VK::kWord), Col("rating", VK::kRate)}),
+       Table("dish", "menu items",
+             {Col("dish_id", VK::kSequentialId),
+              Col("dish_name", VK::kTitleWords),
+              Col("restaurant_id", VK::kSmallInt, "serving restaurant"),
+              Col("price", VK::kMoney), Col("calories", VK::kBigInt)})},
+      {Fk("dish", "restaurant_id", "restaurant", "restaurant_id")}});
+
+  domains.push_back(DomainSpec{
+      "movies",
+      {Table("director", "film directors",
+             {Col("director_id", VK::kSequentialId),
+              Col("director_name", VK::kPersonName),
+              Col("country", VK::kCountry)}),
+       Table("movie", "released films",
+             {Col("movie_id", VK::kSequentialId),
+              Col("movie_title", VK::kTitleWords),
+              Col("director_id", VK::kSmallInt, "film director"),
+              Col("release_year", VK::kYear), Col("box_office", VK::kMoney),
+              Col("genre", VK::kWord)})},
+      {Fk("movie", "director_id", "director", "director_id")}});
+
+  domains.push_back(DomainSpec{
+      "cars",
+      {Table("maker", "car manufacturers",
+             {Col("maker_id", VK::kSequentialId), Col("maker_name", VK::kCompany),
+              Col("country", VK::kCountry), Col("founded_year", VK::kYear)}),
+       Table("model", "car models",
+             {Col("model_id", VK::kSequentialId),
+              Col("model_name", VK::kTitleWords),
+              Col("maker_id", VK::kSmallInt, "manufacturer"),
+              Col("horsepower", VK::kSmallInt), Col("price", VK::kMoney),
+              Col("body_style", VK::kWord)})},
+      {Fk("model", "maker_id", "maker", "maker_id")}});
+
+  domains.push_back(DomainSpec{
+      "real_estate",
+      {Table("agent", "real estate agents",
+             {Col("agent_id", VK::kSequentialId),
+              Col("agent_name", VK::kPersonName), Col("phone", VK::kPhone),
+              Col("commission_rate", VK::kRate)}),
+       Table("property", "listed properties",
+             {Col("property_id", VK::kSequentialId),
+              Col("address", VK::kTitleWords),
+              Col("agent_id", VK::kSmallInt, "listing agent"),
+              Col("city", VK::kCity), Col("asking_price", VK::kMoney),
+              Col("bedrooms", VK::kSmallInt)})},
+      {Fk("property", "agent_id", "agent", "agent_id")}});
+
+  domains.push_back(DomainSpec{
+      "museums",
+      {Table("museum", "public museums",
+             {Col("museum_id", VK::kSequentialId),
+              Col("museum_name", VK::kTitleWords), Col("city", VK::kCity),
+              Col("annual_visitors", VK::kBigInt)}),
+       Table("exhibit", "museum exhibits",
+             {Col("exhibit_id", VK::kSequentialId),
+              Col("exhibit_title", VK::kTitleWords),
+              Col("museum_id", VK::kSmallInt, "hosting museum"),
+              Col("theme", VK::kWord), Col("start_year", VK::kYear)})},
+      {Fk("exhibit", "museum_id", "museum", "museum_id")}});
+
+  domains.push_back(DomainSpec{
+      "hotels",
+      {Table("hotel", "hotels",
+             {Col("hotel_id", VK::kSequentialId), Col("hotel_name", VK::kCompany),
+              Col("city", VK::kCity), Col("star_rating", VK::kSmallInt)}),
+       Table("booking", "room bookings",
+             {Col("booking_id", VK::kSequentialId),
+              Col("hotel_id", VK::kSmallInt, "booked hotel"),
+              Col("guest_name", VK::kPersonName),
+              Col("check_in", VK::kDate, "check in date"),
+              Col("nights", VK::kSmallInt), Col("total_cost", VK::kMoney)})},
+      {Fk("booking", "hotel_id", "hotel", "hotel_id")}});
+
+  domains.push_back(DomainSpec{
+      "elections",
+      {Table("district", "voting districts",
+             {Col("district_id", VK::kSequentialId),
+              Col("district_name", VK::kCity),
+              Col("population", VK::kBigInt)}),
+       Table("candidate", "election candidates",
+             {Col("candidate_id", VK::kSequentialId),
+              Col("candidate_name", VK::kPersonName),
+              Col("district_id", VK::kSmallInt, "home district"),
+              Col("party", VK::kWord), Col("votes", VK::kBigInt)})},
+      {Fk("candidate", "district_id", "district", "district_id")}});
+
+  domains.push_back(DomainSpec{
+      "music_streaming",
+      {Table("artist", "recording artists",
+             {Col("artist_id", VK::kSequentialId),
+              Col("artist_name", VK::kPersonName),
+              Col("country", VK::kCountry), Col("debut_year", VK::kYear)}),
+       Table("album", "released albums",
+             {Col("album_id", VK::kSequentialId),
+              Col("album_title", VK::kTitleWords),
+              Col("artist_id", VK::kSmallInt, "recording artist"),
+              Col("release_year", VK::kYear)}),
+       Table("track", "album tracks",
+             {Col("track_id", VK::kSequentialId),
+              Col("track_title", VK::kTitleWords),
+              Col("album_id", VK::kSmallInt, "parent album"),
+              Col("duration_seconds", VK::kBigInt),
+              Col("play_count", VK::kBigInt)})},
+      {Fk("album", "artist_id", "artist", "artist_id"),
+       Fk("track", "album_id", "album", "album_id")}});
+
+  domains.push_back(DomainSpec{
+      "insurance",
+      {Table("customer", "policy holders",
+             {Col("customer_id", VK::kSequentialId),
+              Col("customer_name", VK::kPersonName), Col("city", VK::kCity),
+              Col("age", VK::kSmallInt)}),
+       Table("policy", "insurance policies",
+             {Col("policy_id", VK::kSequentialId),
+              Col("customer_id", VK::kSmallInt, "policy holder"),
+              Col("policy_type", VK::kWord), Col("premium", VK::kMoney),
+              Col("start_date", VK::kDate)}),
+       Table("claim", "filed claims",
+             {Col("claim_id", VK::kSequentialId),
+              Col("policy_id", VK::kSmallInt, "claimed policy"),
+              Col("claim_amount", VK::kMoney),
+              Col("claim_date", VK::kDate),
+              Col("approved", VK::kYesNo, "whether the claim was approved")})},
+      {Fk("policy", "customer_id", "customer", "customer_id"),
+       Fk("claim", "policy_id", "policy", "policy_id")}});
+
+  domains.push_back(DomainSpec{
+      "logistics",
+      {Table("warehouse", "storage facilities",
+             {Col("warehouse_id", VK::kSequentialId),
+              Col("warehouse_name", VK::kCompany), Col("city", VK::kCity),
+              Col("capacity", VK::kBigInt, "capacity in pallets")}),
+       Table("shipment", "outbound shipments",
+             {Col("shipment_id", VK::kSequentialId),
+              Col("warehouse_id", VK::kSmallInt, "origin warehouse"),
+              Col("destination_city", VK::kCity),
+              Col("weight_kg", VK::kBigInt, "weight in kilograms"),
+              Col("ship_date", VK::kDate), Col("freight_cost", VK::kMoney)})},
+      {Fk("shipment", "warehouse_id", "warehouse", "warehouse_id")}});
+
+  domains.push_back(DomainSpec{
+      "gyms",
+      {Table("gym", "fitness centers",
+             {Col("gym_id", VK::kSequentialId), Col("gym_name", VK::kCompany),
+              Col("city", VK::kCity), Col("monthly_fee", VK::kMoney)}),
+       Table("member", "gym members",
+             {Col("member_id", VK::kSequentialId),
+              Col("member_name", VK::kPersonName),
+              Col("gym_id", VK::kSmallInt, "home gym"),
+              Col("join_year", VK::kYear), Col("age", VK::kSmallInt),
+              Col("membership_level", VK::kWord)})},
+      {Fk("member", "gym_id", "gym", "gym_id")}});
+
+  domains.push_back(DomainSpec{
+      "farms",
+      {Table("farm", "agricultural farms",
+             {Col("farm_id", VK::kSequentialId), Col("owner_name", VK::kPersonName),
+              Col("region", VK::kCity), Col("total_hectares", VK::kBigInt)}),
+       Table("crop", "planted crops",
+             {Col("crop_id", VK::kSequentialId), Col("crop_name", VK::kWord),
+              Col("farm_id", VK::kSmallInt, "growing farm"),
+              Col("harvest_year", VK::kYear),
+              Col("crop_yield", VK::kBigInt, "yield in tons"),
+              Col("market_price", VK::kMoney)})},
+      {Fk("crop", "farm_id", "farm", "farm_id")}});
+
+  domains.push_back(DomainSpec{
+      "universities",
+      {Table("university", "higher education institutions",
+             {Col("university_id", VK::kSequentialId),
+              Col("university_name", VK::kTitleWords), Col("city", VK::kCity),
+              Col("founded_year", VK::kYear),
+              Col("endowment", VK::kMoney, "endowment in millions")}),
+       Table("professor", "faculty members",
+             {Col("professor_id", VK::kSequentialId),
+              Col("professor_name", VK::kPersonName),
+              Col("university_id", VK::kSmallInt, "employing university"),
+              Col("field", VK::kWord), Col("publication_count", VK::kSmallInt),
+              Col("salary", VK::kMoney)})},
+      {Fk("professor", "university_id", "university", "university_id")}});
+
+  return domains;
+}
+
+DomainSpec BuildBankFinancials() {
+  // Mirrors the paper's Bank-Financials: few tables, one very wide table
+  // with abbreviated/ambiguous column names (Figure 2 shows 65 columns on
+  // the largest table; we model the same shape at reduced width).
+  DomainSpec d;
+  d.name = "bank_financials";
+  TableConcept company =
+      Table("listed_company", "companies listed on the exchange",
+            {Col("company_id", VK::kSequentialId),
+             Col("company_name", VK::kCompany),
+             Col("industry", VK::kWord), Col("city", VK::kCity),
+             Col("list_year", VK::kYear)});
+  TableConcept report =
+      Table("financial_report", "quarterly financial disclosures",
+            {Col("report_id", VK::kSequentialId),
+             Col("company_id", VK::kSmallInt, "reporting company")});
+  // A wide block of abbreviated financial metrics.
+  const struct {
+    const char* abbr;
+    const char* phrase;
+    VK kind;
+  } kMetrics[] = {
+      {"tor", "total operating revenue", VK::kMoney},
+      {"np", "net profit", VK::kMoney},
+      {"npgr", "net profit growth rate", VK::kRate},
+      {"roe", "return on equity", VK::kRate},
+      {"roa", "return on assets", VK::kRate},
+      {"eps", "earnings per share", VK::kRate},
+      {"bps", "book value per share", VK::kMoney},
+      {"ta", "total assets", VK::kMoney},
+      {"tl", "total liabilities", VK::kMoney},
+      {"dar", "debt to asset ratio", VK::kRate},
+      {"cr", "current ratio", VK::kRate},
+      {"qr", "quick ratio", VK::kRate},
+      {"gpm", "gross profit margin", VK::kRate},
+      {"npm", "net profit margin", VK::kRate},
+      {"itr", "inventory turnover ratio", VK::kRate},
+      {"rtr", "receivables turnover ratio", VK::kRate},
+      {"ocf", "operating cash flow", VK::kMoney},
+      {"icf", "investing cash flow", VK::kMoney},
+      {"fcf", "financing cash flow", VK::kMoney},
+      {"rnd", "research and development expense", VK::kMoney},
+  };
+  for (const auto& m : kMetrics) {
+    report.columns.push_back(Col(m.abbr, m.kind, m.phrase));
+  }
+  report.columns.push_back(Col("report_year", VK::kYear, "fiscal year"));
+  TableConcept branch =
+      Table("bank_branch", "bank branch registry",
+            {Col("branch_id", VK::kSequentialId),
+             Col("branch_name", VK::kCompany), Col("city", VK::kCity),
+             Col("deposit_total", VK::kMoney, "total deposits held")});
+  TableConcept loan =
+      Table("corporate_loan", "loans issued to listed companies",
+            {Col("loan_id", VK::kSequentialId),
+             Col("company_id", VK::kSmallInt, "borrowing company"),
+             Col("branch_id", VK::kSmallInt, "issuing branch"),
+             Col("loan_amount", VK::kMoney), Col("interest_rate", VK::kRate),
+             Col("issue_date", VK::kDate)});
+  d.tables = {company, report, branch, loan};
+  d.fks = {Fk("financial_report", "company_id", "listed_company", "company_id"),
+           Fk("corporate_loan", "company_id", "listed_company", "company_id"),
+           Fk("corporate_loan", "branch_id", "bank_branch", "branch_id")};
+  return d;
+}
+
+DomainSpec BuildAminerSimplified() {
+  // Mirrors the paper's Aminer-Simplified academic graph: entities with
+  // complex join relationships (author - paper - venue - affiliation).
+  DomainSpec d;
+  d.name = "aminer_simplified";
+  d.tables = {
+      Table("researcher", "academic authors",
+            {Col("researcher_id", VK::kSequentialId),
+             Col("researcher_name", VK::kPersonName),
+             Col("h_index", VK::kSmallInt, "Hirsch index"),
+             Col("affiliation_id", VK::kSmallInt, "home institution"),
+             Col("research_interest", VK::kWord)}),
+      Table("affiliation", "research institutions",
+            {Col("affiliation_id", VK::kSequentialId),
+             Col("affiliation_name", VK::kTitleWords),
+             Col("country", VK::kCountry)}),
+      Table("paper", "published papers",
+            {Col("paper_id", VK::kSequentialId),
+             Col("title", VK::kTitleWords),
+             Col("venue_id", VK::kSmallInt, "publication venue"),
+             Col("publish_year", VK::kYear),
+             Col("citation_count", VK::kBigInt),
+             Col("abstract", VK::kTitleWords, "paper abstract")}),
+      Table("venue", "conferences and journals",
+            {Col("venue_id", VK::kSequentialId),
+             Col("venue_name", VK::kTitleWords),
+             Col("field", VK::kWord), Col("impact_factor", VK::kRate)}),
+      Table("authorship", "author-paper links",
+            {Col("authorship_id", VK::kSequentialId),
+             Col("researcher_id", VK::kSmallInt, "author"),
+             Col("paper_id", VK::kSmallInt, "authored paper"),
+             Col("author_rank", VK::kSmallInt, "position in author list")})};
+  d.fks = {
+      Fk("researcher", "affiliation_id", "affiliation", "affiliation_id"),
+      Fk("paper", "venue_id", "venue", "venue_id"),
+      Fk("authorship", "researcher_id", "researcher", "researcher_id"),
+      Fk("authorship", "paper_id", "paper", "paper_id")};
+  return d;
+}
+
+}  // namespace
+
+const std::vector<DomainSpec>& AllDomains() {
+  static const std::vector<DomainSpec>* const kDomains =
+      new std::vector<DomainSpec>(BuildDomains());
+  return *kDomains;
+}
+
+const DomainSpec* FindDomain(const std::string& name) {
+  for (const auto& domain : AllDomains()) {
+    if (domain.name == name) return &domain;
+  }
+  if (name == BankFinancialsDomain().name) return &BankFinancialsDomain();
+  if (name == AminerSimplifiedDomain().name) return &AminerSimplifiedDomain();
+  return nullptr;
+}
+
+const DomainSpec& BankFinancialsDomain() {
+  static const DomainSpec* const kSpec = new DomainSpec(BuildBankFinancials());
+  return *kSpec;
+}
+
+const DomainSpec& AminerSimplifiedDomain() {
+  static const DomainSpec* const kSpec =
+      new DomainSpec(BuildAminerSimplified());
+  return *kSpec;
+}
+
+}  // namespace codes

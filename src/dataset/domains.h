@@ -1,0 +1,58 @@
+#ifndef CODES_DATASET_DOMAINS_H_
+#define CODES_DATASET_DOMAINS_H_
+
+#include <string>
+#include <vector>
+
+#include "dataset/value_pool.h"
+
+namespace codes {
+
+/// A column concept: logical name (full snake_case words), the value
+/// distribution it draws from, and an optional NL comment.
+struct ColumnConcept {
+  std::string name;
+  ValueKind kind = ValueKind::kWord;
+  std::string comment;
+};
+
+/// A table concept: name, comment, and columns. The first column is the
+/// primary key by convention (kSequentialId).
+struct TableConcept {
+  std::string name;
+  std::string comment;
+  std::vector<ColumnConcept> columns;
+};
+
+/// A foreign-key concept between two tables of the same domain.
+struct FkConcept {
+  std::string table;
+  std::string column;
+  std::string ref_table;
+  std::string ref_column;
+};
+
+/// A database domain: the unit of cross-domain generalization. Train and
+/// dev benchmarks draw from disjoint domain subsets, mirroring Spider's
+/// unseen-database evaluation.
+struct DomainSpec {
+  std::string name;
+  std::vector<TableConcept> tables;
+  std::vector<FkConcept> fks;
+};
+
+/// The built-in domain catalog (20 domains). Deterministic order.
+const std::vector<DomainSpec>& AllDomains();
+
+/// Looks up a domain by name across AllDomains() and the special
+/// new-domain specs; nullptr when unknown.
+const DomainSpec* FindDomain(const std::string& name);
+
+/// Special new-domain specs used by the Section 9.6 experiments; these are
+/// NOT in AllDomains() so no benchmark ever trains on them.
+const DomainSpec& BankFinancialsDomain();
+const DomainSpec& AminerSimplifiedDomain();
+
+}  // namespace codes
+
+#endif  // CODES_DATASET_DOMAINS_H_

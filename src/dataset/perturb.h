@@ -1,0 +1,71 @@
+#ifndef CODES_DATASET_PERTURB_H_
+#define CODES_DATASET_PERTURB_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataset/sample.h"
+
+namespace codes {
+
+/// A perturbed evaluation set derived from a clean benchmark's dev split.
+/// `bench.train` is left empty: robustness evaluation trains on the clean
+/// benchmark and tests here (Section 9.4 protocol).
+struct PerturbedTestSet {
+  std::string name;      ///< e.g. "schema-synonym"
+  std::string category;  ///< "DB", "NLQ", or "SQL"
+  Text2SqlBenchmark bench;
+};
+
+/// Spider-Syn: schema-related words in dev questions are replaced with
+/// synonyms, so naive string matching between question and schema fails.
+Text2SqlBenchmark BuildSpiderSyn(const Text2SqlBenchmark& spider,
+                                 uint64_t seed);
+
+/// Spider-Realistic: explicit column mentions are removed from questions
+/// when a predicate value still identifies the intent.
+Text2SqlBenchmark BuildSpiderRealistic(const Text2SqlBenchmark& spider,
+                                       uint64_t seed);
+
+/// Spider-DK: column mentions are replaced with domain-knowledge
+/// paraphrases ("age" -> "years since birth").
+Text2SqlBenchmark BuildSpiderDk(const Text2SqlBenchmark& spider,
+                                uint64_t seed);
+
+/// Dr.Spider: the full diagnostic suite — 3 database perturbations, 9
+/// natural-language-question perturbations, and 5 SQL-side test sets.
+/// Returns 17 named sets.
+std::vector<PerturbedTestSet> BuildDrSpiderSuite(
+    const Text2SqlBenchmark& spider, uint64_t seed);
+
+// ----- exposed for tests -----
+
+/// Replaces whole-word occurrences of `word` outside single-quoted spans.
+std::string ReplaceWordOutsideQuotes(const std::string& text,
+                                     const std::string& word,
+                                     const std::string& replacement);
+
+/// The schema/question synonym dictionary used by the Syn perturbations.
+const std::vector<std::pair<std::string, std::string>>& SynonymTable();
+
+/// Question-keyword paraphrases ("how many" -> "count of", ...), used by
+/// the keyword perturbations and by the augmentation refiner.
+const std::vector<std::pair<std::string, std::string>>& KeywordSynonymTable();
+
+/// Expands `tokens` (stemmed or raw) with the other side of every synonym
+/// pair whose word appears among them — "vocalist" adds "singer" and vice
+/// versa. This emulates the lexical knowledge a pre-trained LM brings to
+/// robustness perturbations; the *model* and the schema classifier use it,
+/// evaluation never does.
+std::vector<std::string> ExpandWithSynonyms(
+    const std::vector<std::string>& tokens);
+
+/// Vowel-stripping abbreviation ("fleet" -> "flt") used by Dr.Spider's
+/// schema-abbreviation perturbation; distinct from the initials-based
+/// AbbreviateIdentifier used by the BIRD profile.
+std::string VowelStripAbbreviate(const std::string& word);
+
+}  // namespace codes
+
+#endif  // CODES_DATASET_PERTURB_H_

@@ -1,0 +1,60 @@
+#ifndef CODES_EVAL_METRICS_H_
+#define CODES_EVAL_METRICS_H_
+
+#include <functional>
+#include <string>
+
+#include "dataset/sample.h"
+
+namespace codes {
+
+/// Controls which metrics are computed. EX is always computed; TS and VES
+/// add execution cost.
+struct EvalOptions {
+  /// Test-suite accuracy: EX must hold on `ts_instances` freshly
+  /// regenerated database instances in addition to the original database.
+  bool compute_ts = false;
+  int ts_instances = 3;
+  /// Valid efficiency score: execution-time ratio for correct predictions
+  /// (BIRD's VES, in its R-VES square-root form).
+  bool compute_ves = false;
+  int ves_repeats = 3;
+  uint64_t seed = 4242;
+  /// Cap the number of dev samples evaluated (<0: all).
+  int max_samples = -1;
+};
+
+/// Aggregated metrics over a dev set, all in percent.
+struct EvalMetrics {
+  double ex = 0.0;
+  double ts = 0.0;
+  double ves = 0.0;
+  int n = 0;
+};
+
+/// A prediction function: sample -> SQL text.
+using SqlPredictor = std::function<std::string(const Text2SqlSample&)>;
+
+/// Whether `predicted` and `gold` produce equivalent results on `db`
+/// (the EX criterion: order-sensitive iff the gold query orders output).
+/// A prediction that fails to parse/execute is incorrect.
+bool ExecutionMatch(const sql::Database& db, const std::string& predicted,
+                    const std::string& gold);
+
+/// Human-evaluation proxy (the paper's HE metric, Section 9.6): a
+/// prediction whose result *contains* the requested information counts as
+/// correct even if it selects extra columns. Concretely: EX passes, or
+/// some subset of the predicted columns matches the gold result as a
+/// multiset.
+bool LenientExecutionMatch(const sql::Database& db,
+                           const std::string& predicted,
+                           const std::string& gold);
+
+/// Evaluates `predictor` over `bench.dev`.
+EvalMetrics EvaluateDevSet(const Text2SqlBenchmark& bench,
+                           const SqlPredictor& predictor,
+                           const EvalOptions& options);
+
+}  // namespace codes
+
+#endif  // CODES_EVAL_METRICS_H_

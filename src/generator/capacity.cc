@@ -1,0 +1,126 @@
+#include "generator/capacity.h"
+
+#include "common/status.h"
+
+namespace codes {
+
+namespace {
+
+CapacityProfile Make1B() {
+  CapacityProfile p;
+  p.name = "codes-1b";
+  p.params_billion = 1.0;
+  p.hidden_size = 2048;
+  p.ffn_size = 8192;
+  p.attention_heads = 16;
+  p.transformer_blocks = 24;
+  p.embedding_dim = 64;
+  p.ngram_order = 2;
+  p.candidate_templates = 8;
+  p.beam_width = 4;
+  p.max_context_tokens = 8192;
+  p.decode_noise = 0.40;
+  p.template_weight = 1.0;
+  p.link_weight = 0.7;
+  // Small models lean relatively more on the language model's surface
+  // statistics, which is why incremental pre-training helps them most
+  // (Section 9.2 observation).
+  p.lm_weight = 0.9;
+  return p;
+}
+
+CapacityProfile Make3B() {
+  CapacityProfile p;
+  p.name = "codes-3b";
+  p.params_billion = 3.0;
+  p.hidden_size = 2816;
+  p.ffn_size = 11264;
+  p.attention_heads = 22;
+  p.transformer_blocks = 36;
+  p.embedding_dim = 128;
+  p.ngram_order = 3;
+  p.candidate_templates = 14;
+  p.beam_width = 4;
+  p.max_context_tokens = 8192;
+  p.decode_noise = 0.22;
+  p.template_weight = 1.0;
+  p.link_weight = 0.8;
+  p.lm_weight = 0.7;
+  return p;
+}
+
+CapacityProfile Make7B() {
+  CapacityProfile p;
+  p.name = "codes-7b";
+  p.params_billion = 7.0;
+  p.hidden_size = 4096;
+  p.ffn_size = 16384;
+  p.attention_heads = 32;
+  p.transformer_blocks = 42;
+  p.embedding_dim = 256;
+  p.ngram_order = 4;
+  p.candidate_templates = 22;
+  p.beam_width = 4;
+  p.max_context_tokens = 8192;
+  p.decode_noise = 0.13;
+  p.template_weight = 1.0;
+  p.link_weight = 0.9;
+  p.lm_weight = 0.6;
+  return p;
+}
+
+CapacityProfile Make15B() {
+  CapacityProfile p;
+  p.name = "codes-15b";
+  p.params_billion = 15.0;
+  p.hidden_size = 6144;
+  p.ffn_size = 24576;
+  p.attention_heads = 48;
+  p.transformer_blocks = 40;
+  p.embedding_dim = 384;
+  p.ngram_order = 5;
+  p.candidate_templates = 26;
+  p.beam_width = 4;
+  // The paper limits CodeS-15B to a 6,144-token context (GPU memory);
+  // the truncation cost occasionally shows as 15B ≈ 7B.
+  p.max_context_tokens = 6144;
+  p.decode_noise = 0.10;
+  p.template_weight = 1.0;
+  p.link_weight = 0.9;
+  p.lm_weight = 0.55;
+  return p;
+}
+
+}  // namespace
+
+const CapacityProfile& ProfileFor(ModelSize size) {
+  static const CapacityProfile* const k1 = new CapacityProfile(Make1B());
+  static const CapacityProfile* const k3 = new CapacityProfile(Make3B());
+  static const CapacityProfile* const k7 = new CapacityProfile(Make7B());
+  static const CapacityProfile* const k15 = new CapacityProfile(Make15B());
+  switch (size) {
+    case ModelSize::k1B:
+      return *k1;
+    case ModelSize::k3B:
+      return *k3;
+    case ModelSize::k7B:
+      return *k7;
+    case ModelSize::k15B:
+      return *k15;
+  }
+  CODES_CHECK(false);
+  return *k1;
+}
+
+const std::string& ModelSizeName(ModelSize size) {
+  return ProfileFor(size).name;
+}
+
+const ModelSize* AllModelSizes(int* count) {
+  static const ModelSize kSizes[] = {ModelSize::k1B, ModelSize::k3B,
+                                     ModelSize::k7B, ModelSize::k15B};
+  *count = 4;
+  return kSizes;
+}
+
+}  // namespace codes

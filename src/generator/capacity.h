@@ -1,0 +1,56 @@
+#ifndef CODES_GENERATOR_CAPACITY_H_
+#define CODES_GENERATOR_CAPACITY_H_
+
+#include <string>
+
+namespace codes {
+
+/// The four CodeS scales of the paper (Table 1).
+enum class ModelSize { k1B, k3B, k7B, k15B };
+
+/// Capacity knobs of a model scale. The transformer hyper-parameters
+/// (hidden size, blocks, ...) are reported for parity with Table 1; the
+/// *operative* knobs of the substitute model are the ones that bound how
+/// much signal the generator can exploit:
+///   * embedding_dim     — sentence-embedding width (hash collisions ↓)
+///   * ngram_order       — language-model order
+///   * candidate_templates / beam_width — search breadth
+///   * decode_noise      — score jitter (small models decode noisily)
+///   * max_context_tokens — prompt budget before truncation
+/// and the mixing weights of the candidate scorer.
+struct CapacityProfile {
+  std::string name;
+  double params_billion = 0;
+
+  // Table 1 reference architecture (emulated; informational).
+  int hidden_size = 0;
+  int ffn_size = 0;
+  int attention_heads = 0;
+  int transformer_blocks = 0;
+
+  // Operative knobs.
+  int embedding_dim = 128;
+  int ngram_order = 3;
+  int candidate_templates = 10;
+  int beam_width = 4;
+  int max_context_tokens = 8192;
+  double decode_noise = 0.15;
+
+  // Candidate score mixing.
+  double template_weight = 1.0;
+  double link_weight = 0.8;
+  double lm_weight = 0.6;
+};
+
+/// The profile for a scale.
+const CapacityProfile& ProfileFor(ModelSize size);
+
+/// "codes-1b" ... "codes-15b".
+const std::string& ModelSizeName(ModelSize size);
+
+/// All four sizes in ascending order.
+const ModelSize* AllModelSizes(int* count);
+
+}  // namespace codes
+
+#endif  // CODES_GENERATOR_CAPACITY_H_

@@ -1,0 +1,72 @@
+#ifndef CODES_INDEX_BM25_INDEX_H_
+#define CODES_INDEX_BM25_INDEX_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace codes {
+
+/// A document hit returned by a BM25 query.
+struct Bm25Hit {
+  int doc_id = -1;
+  double score = 0.0;
+};
+
+/// In-memory inverted index with Okapi BM25 ranking.
+///
+/// This replaces the Lucene/pyserini index the paper uses for the coarse
+/// stage of its value retriever (Section 6.2): documents are database cell
+/// values; queries are user questions; the index returns the top-k
+/// candidate values for fine-grained LCS re-ranking.
+///
+/// Usage: AddDocument() for every value, Finalize(), then Query().
+class Bm25Index {
+ public:
+  /// Standard Okapi parameters.
+  explicit Bm25Index(double k1 = 1.2, double b = 0.75) : k1_(k1), b_(b) {}
+
+  /// Adds a document and returns its id (dense, starting at 0).
+  /// Tokens are stemmed words plus 3-character-grams, so that partial
+  /// matches ("Jesenik" in "Jesenik branch") still score.
+  int AddDocument(std::string_view text);
+
+  /// Number of indexed documents.
+  int NumDocuments() const { return static_cast<int>(doc_lengths_.size()); }
+
+  /// Computes IDF statistics. Must be called after the last AddDocument
+  /// and before the first Query; subsequent AddDocument calls require
+  /// re-finalization.
+  void Finalize();
+
+  /// Returns the `top_k` highest-scoring documents for `query`, sorted by
+  /// descending score. Only documents sharing at least one token appear.
+  std::vector<Bm25Hit> Query(std::string_view query, int top_k) const;
+
+  /// Original text of a document.
+  const std::string& DocumentText(int doc_id) const {
+    return doc_texts_[static_cast<size_t>(doc_id)];
+  }
+
+ private:
+  static std::vector<std::string> Analyze(std::string_view text);
+
+  struct Posting {
+    int doc_id;
+    int term_freq;
+  };
+
+  double k1_;
+  double b_;
+  bool finalized_ = false;
+  double avg_doc_length_ = 0;
+  std::vector<int> doc_lengths_;
+  std::vector<std::string> doc_texts_;
+  std::unordered_map<std::string, std::vector<Posting>> postings_;
+  std::unordered_map<std::string, double> idf_;
+};
+
+}  // namespace codes
+
+#endif  // CODES_INDEX_BM25_INDEX_H_

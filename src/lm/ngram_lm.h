@@ -1,0 +1,63 @@
+#ifndef CODES_LM_NGRAM_LM_H_
+#define CODES_LM_NGRAM_LM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace codes {
+
+/// An interpolated n-gram language model over code tokens.
+///
+/// This is the repo's stand-in for the StarCoder/CodeS transformer: it is
+/// trainable, supports *incremental pre-training* (continue accumulating
+/// counts on a second corpus, optionally for several epochs), measures
+/// perplexity, and scores candidate SQL strings during generation. The
+/// n-gram `order` is one of the model-size capacity knobs (larger CodeS
+/// profiles use higher orders).
+///
+/// Probabilities interpolate all orders (Jelinek-Mercer style) with a
+/// uniform-vocabulary floor, so unseen tokens never zero out a sequence.
+class NgramLm {
+ public:
+  explicit NgramLm(int order);
+
+  int order() const { return order_; }
+
+  /// Accumulates counts from `documents`, `epochs` times. Calling Train
+  /// again with a different corpus performs incremental (continued)
+  /// pre-training: new counts add to the old ones, shifting the model
+  /// toward the new distribution — the Section 5 mechanism.
+  void Train(const std::vector<std::string>& documents, int epochs = 1);
+
+  /// Average per-token natural-log probability of `text` (tokenized with
+  /// CodeTokens). Empty text scores 0.
+  double AvgLogProb(std::string_view text) const;
+
+  /// exp(-mean log prob) over all documents.
+  double Perplexity(const std::vector<std::string>& documents) const;
+
+  /// Number of distinct unigrams seen.
+  size_t VocabSize() const { return unigram_counts_.size(); }
+
+  /// Total tokens consumed by Train (across epochs).
+  uint64_t TokensTrained() const { return total_tokens_; }
+
+ private:
+  double TokenLogProb(const std::vector<std::string>& tokens, size_t i) const;
+
+  int order_;
+  uint64_t total_tokens_ = 0;
+  // context ("a b") -> (next token -> count); contexts of every length
+  // from 1..order-1 tokens are stored, keyed by joined text.
+  std::unordered_map<std::string, std::unordered_map<std::string, uint32_t>>
+      context_counts_;
+  std::unordered_map<std::string, uint32_t> unigram_counts_;
+  uint64_t unigram_total_ = 0;
+};
+
+}  // namespace codes
+
+#endif  // CODES_LM_NGRAM_LM_H_

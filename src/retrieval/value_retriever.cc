@@ -1,0 +1,96 @@
+#include "retrieval/value_retriever.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "text/similarity.h"
+#include "text/tokenize.h"
+
+namespace codes {
+
+namespace {
+
+/// Very short values ('F', 'no', 'AB') match almost any question by
+/// substring; they only count when the question contains them as a whole
+/// word.
+bool ShortValueMatches(const std::string& value, const std::string& question) {
+  std::string needle = ToLower(Trim(value));
+  for (const auto& token : WordTokens(question)) {
+    if (token == needle) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void ValueRetriever::BuildIndex(const sql::Database& db) {
+  entries_.clear();
+  index_ = Bm25Index();
+  // Deduplicate identical (value, table, column) triples: repeated
+  // categorical values would otherwise bloat the index.
+  std::unordered_set<std::string> seen;
+  db.ForEachTextValue([this, &seen](int t, int c, int /*row*/,
+                                    const std::string& text) {
+    if (text.empty()) return;
+    std::string key =
+        std::to_string(t) + "|" + std::to_string(c) + "|" + ToLower(text);
+    if (!seen.insert(std::move(key)).second) return;
+    entries_.push_back(Entry{text, t, c});
+    index_.AddDocument(text);
+  });
+  index_.Finalize();
+}
+
+std::vector<RetrievedValue> ValueRetriever::FineRank(
+    const std::string& question, const std::vector<int>& candidates,
+    int fine_k) const {
+  std::vector<RetrievedValue> ranked;
+  ranked.reserve(candidates.size());
+  for (int idx : candidates) {
+    const Entry& entry = entries_[static_cast<size_t>(idx)];
+    double degree;
+    if (Trim(entry.text).size() < 6) {
+      degree = ShortValueMatches(entry.text, question) ? 1.0 : 0.0;
+    } else {
+      degree = LcsMatchDegree(entry.text, question);
+    }
+    if (degree <= 0.0) continue;
+    ranked.push_back(RetrievedValue{entry.text, entry.table, entry.column,
+                                    degree});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RetrievedValue& a, const RetrievedValue& b) {
+              if (a.score != b.score) return a.score > b.score;
+              // Tie-break toward longer matches: 'Ember Dawn' must beat
+              // the spurious substring match 'Dawn'.
+              if (a.text.size() != b.text.size()) {
+                return a.text.size() > b.text.size();
+              }
+              if (a.table != b.table) return a.table < b.table;
+              if (a.column != b.column) return a.column < b.column;
+              return a.text < b.text;
+            });
+  if (ranked.size() > static_cast<size_t>(fine_k)) {
+    ranked.resize(static_cast<size_t>(fine_k));
+  }
+  return ranked;
+}
+
+std::vector<RetrievedValue> ValueRetriever::Retrieve(
+    const std::string& question, int coarse_k, int fine_k) const {
+  auto hits = index_.Query(question, coarse_k);
+  std::vector<int> candidates;
+  candidates.reserve(hits.size());
+  for (const auto& hit : hits) candidates.push_back(hit.doc_id);
+  return FineRank(question, candidates, fine_k);
+}
+
+std::vector<RetrievedValue> ValueRetriever::RetrieveBruteForce(
+    const std::string& question, int fine_k) const {
+  std::vector<int> all(entries_.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
+  return FineRank(question, all, fine_k);
+}
+
+}  // namespace codes

@@ -1,0 +1,274 @@
+#include "sqlengine/ast.h"
+
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace codes::sql {
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "!=";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kConcat: return "||";
+    case BinaryOp::kLike: return "LIKE";
+    case BinaryOp::kNotLike: return "NOT LIKE";
+  }
+  return "?";
+}
+
+namespace {
+
+bool NeedsParens(const Expr& child) {
+  return child.kind == ExprKind::kBinary &&
+         (child.binary_op == BinaryOp::kAnd || child.binary_op == BinaryOp::kOr);
+}
+
+std::string ChildSql(const Expr& child) {
+  std::string s = child.ToSql();
+  if (NeedsParens(child)) return "(" + s + ")";
+  return s;
+}
+
+}  // namespace
+
+std::string Expr::ToSql() const {
+  switch (kind) {
+    case ExprKind::kLiteral:
+      return literal.ToSqlLiteral();
+    case ExprKind::kColumnRef:
+      if (table.empty()) return column;
+      return table + "." + column;
+    case ExprKind::kStar:
+      return "*";
+    case ExprKind::kUnary: {
+      const std::string inner = ChildSql(*children[0]);
+      switch (unary_op) {
+        case UnaryOp::kNot: return "NOT " + inner;
+        case UnaryOp::kNegate: return "-" + inner;
+        case UnaryOp::kIsNull: return inner + " IS NULL";
+        case UnaryOp::kIsNotNull: return inner + " IS NOT NULL";
+      }
+      return inner;
+    }
+    case ExprKind::kBinary: {
+      return ChildSql(*children[0]) + " " + BinaryOpName(binary_op) + " " +
+             ChildSql(*children[1]);
+    }
+    case ExprKind::kFunction: {
+      std::string out = function + "(";
+      if (distinct_arg) out += "DISTINCT ";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children[i]->ToSql();
+      }
+      out += ")";
+      return out;
+    }
+    case ExprKind::kBetween: {
+      std::string out = ChildSql(*children[0]);
+      if (negated) out += " NOT";
+      out += " BETWEEN " + children[1]->ToSql() + " AND " +
+             children[2]->ToSql();
+      return out;
+    }
+    case ExprKind::kInList: {
+      std::string out = ChildSql(*children[0]);
+      out += negated ? " NOT IN (" : " IN (";
+      for (size_t i = 0; i < in_list.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += in_list[i].ToSqlLiteral();
+      }
+      out += ")";
+      return out;
+    }
+    case ExprKind::kInSubquery: {
+      std::string out = ChildSql(*children[0]);
+      out += negated ? " NOT IN (" : " IN (";
+      out += subquery->ToSql();
+      out += ")";
+      return out;
+    }
+    case ExprKind::kScalarSubquery:
+      return "(" + subquery->ToSql() + ")";
+    case ExprKind::kCast:
+      return "CAST(" + children[0]->ToSql() + " AS " +
+             DataTypeName(cast_type) + ")";
+  }
+  return "";
+}
+
+std::unique_ptr<Expr> Expr::Clone() const {
+  auto copy = std::make_unique<Expr>();
+  copy->kind = kind;
+  copy->literal = literal;
+  copy->table = table;
+  copy->column = column;
+  copy->unary_op = unary_op;
+  copy->binary_op = binary_op;
+  copy->function = function;
+  copy->distinct_arg = distinct_arg;
+  copy->in_list = in_list;
+  copy->negated = negated;
+  copy->cast_type = cast_type;
+  for (const auto& c : children) copy->children.push_back(c->Clone());
+  if (subquery) copy->subquery = subquery->Clone();
+  return copy;
+}
+
+bool Expr::IsAggregate() const {
+  if (kind != ExprKind::kFunction) return false;
+  return function == "COUNT" || function == "SUM" || function == "AVG" ||
+         function == "MIN" || function == "MAX";
+}
+
+bool Expr::ContainsAggregate() const {
+  if (IsAggregate()) return true;
+  for (const auto& c : children) {
+    if (c->ContainsAggregate()) return true;
+  }
+  return false;
+}
+
+std::unique_ptr<Expr> Expr::MakeLiteral(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::MakeColumn(std::string table, std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->table = std::move(table);
+  e->column = std::move(column);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::MakeStar() {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kStar;
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::MakeUnary(UnaryOp op, std::unique_ptr<Expr> inner) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->unary_op = op;
+  e->children.push_back(std::move(inner));
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::MakeBinary(BinaryOp op, std::unique_ptr<Expr> l,
+                                       std::unique_ptr<Expr> r) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->binary_op = op;
+  e->children.push_back(std::move(l));
+  e->children.push_back(std::move(r));
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::MakeFunction(
+    std::string name, std::vector<std::unique_ptr<Expr>> args, bool distinct) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kFunction;
+  e->function = ToUpper(name);
+  e->children = std::move(args);
+  e->distinct_arg = distinct;
+  return e;
+}
+
+std::string SelectStatement::ToSql() const {
+  std::string out = "SELECT ";
+  if (distinct) out += "DISTINCT ";
+  for (size_t i = 0; i < select_list.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += select_list[i].expr->ToSql();
+    if (!select_list[i].alias.empty()) out += " AS " + select_list[i].alias;
+  }
+  out += " FROM " + from.table;
+  if (!from.alias.empty()) out += " AS " + from.alias;
+  for (const auto& join : joins) {
+    out += " JOIN " + join.table.table;
+    if (!join.table.alias.empty()) out += " AS " + join.table.alias;
+    if (join.condition) out += " ON " + join.condition->ToSql();
+  }
+  if (where) out += " WHERE " + where->ToSql();
+  if (!group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += group_by[i]->ToSql();
+    }
+  }
+  if (having) out += " HAVING " + having->ToSql();
+  if (!order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += order_by[i].expr->ToSql();
+      out += order_by[i].ascending ? " ASC" : " DESC";
+    }
+  }
+  if (limit.has_value()) out += " LIMIT " + std::to_string(*limit);
+  switch (set_op) {
+    case SetOp::kNone:
+      break;
+    case SetOp::kUnion:
+      out += " UNION " + set_rhs->ToSql();
+      break;
+    case SetOp::kUnionAll:
+      out += " UNION ALL " + set_rhs->ToSql();
+      break;
+    case SetOp::kIntersect:
+      out += " INTERSECT " + set_rhs->ToSql();
+      break;
+    case SetOp::kExcept:
+      out += " EXCEPT " + set_rhs->ToSql();
+      break;
+  }
+  return out;
+}
+
+std::unique_ptr<SelectStatement> SelectStatement::Clone() const {
+  auto copy = std::make_unique<SelectStatement>();
+  copy->distinct = distinct;
+  for (const auto& item : select_list) {
+    SelectItem si;
+    si.expr = item.expr->Clone();
+    si.alias = item.alias;
+    copy->select_list.push_back(std::move(si));
+  }
+  copy->from = from;
+  for (const auto& join : joins) {
+    JoinClause jc;
+    jc.table = join.table;
+    if (join.condition) jc.condition = join.condition->Clone();
+    copy->joins.push_back(std::move(jc));
+  }
+  if (where) copy->where = where->Clone();
+  for (const auto& g : group_by) copy->group_by.push_back(g->Clone());
+  if (having) copy->having = having->Clone();
+  for (const auto& o : order_by) {
+    OrderItem oi;
+    oi.expr = o.expr->Clone();
+    oi.ascending = o.ascending;
+    copy->order_by.push_back(std::move(oi));
+  }
+  copy->limit = limit;
+  copy->set_op = set_op;
+  if (set_rhs) copy->set_rhs = set_rhs->Clone();
+  return copy;
+}
+
+}  // namespace codes::sql

@@ -1,0 +1,1024 @@
+#include "sqlengine/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "common/string_util.h"
+#include "sqlengine/parser.h"
+
+namespace codes::sql {
+
+namespace {
+
+/// Hard cap on intermediate row counts; exceeding it aborts execution with
+/// an error instead of consuming unbounded memory.
+constexpr size_t kMaxIntermediateRows = 4'000'000;
+
+/// One entry of the FROM-clause scope: a bound table occurrence.
+struct ScopeEntry {
+  std::string binding;  // lowercase alias-or-table-name
+  int table_index;      // index in db schema
+  int offset;           // flat offset of this table's first column
+};
+
+/// Name-resolution scope for a single SELECT.
+class Scope {
+ public:
+  Status AddTable(const Database& db, const TableRef& ref) {
+    auto idx = db.schema().FindTable(ref.table);
+    if (!idx.has_value()) {
+      return Status::BindError("no such table: " + ref.table);
+    }
+    ScopeEntry entry;
+    entry.binding = ToLower(ref.BindingName());
+    for (const auto& existing : entries_) {
+      if (existing.binding == entry.binding) {
+        return Status::BindError("duplicate table binding: " + entry.binding);
+      }
+    }
+    entry.table_index = *idx;
+    entry.offset = width_;
+    width_ += static_cast<int>(db.schema().tables[*idx].columns.size());
+    entries_.push_back(std::move(entry));
+    return Status::Ok();
+  }
+
+  int width() const { return width_; }
+  const std::vector<ScopeEntry>& entries() const { return entries_; }
+
+  /// Resolves [qualifier.]column to a flat index. Unqualified names must be
+  /// unambiguous across bound tables.
+  Result<int> ResolveColumn(const Database& db, const std::string& qualifier,
+                            const std::string& column) const {
+    std::string q = ToLower(qualifier);
+    std::string c = ToLower(column);
+    int found = -1;
+    for (const auto& entry : entries_) {
+      if (!q.empty() && entry.binding != q) continue;
+      const TableDef& def = db.schema().tables[entry.table_index];
+      auto col = def.FindColumn(c);
+      if (col.has_value()) {
+        if (found >= 0) {
+          return Status::BindError("ambiguous column: " + column);
+        }
+        found = entry.offset + *col;
+      }
+    }
+    if (found < 0) {
+      std::string name = qualifier.empty() ? column : qualifier + "." + column;
+      return Status::BindError("no such column: " + name);
+    }
+    return found;
+  }
+
+  /// Column headers for the full working row (used to expand '*').
+  std::vector<std::string> AllColumnNames(const Database& db) const {
+    std::vector<std::string> names;
+    for (const auto& entry : entries_) {
+      const TableDef& def = db.schema().tables[entry.table_index];
+      for (const auto& col : def.columns) names.push_back(col.name);
+    }
+    return names;
+  }
+
+ private:
+  std::vector<ScopeEntry> entries_;
+  int width_ = 0;
+};
+
+using Row = std::vector<Value>;
+
+/// Hash of a row of values, for hash joins and DISTINCT.
+struct RowHash {
+  size_t operator()(const Row& row) const {
+    size_t h = 1469598103934665603ULL;
+    for (const auto& v : row) {
+      h ^= v.Hash();
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};
+struct RowEq {
+  bool operator()(const Row& a, const Row& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i].Compare(b[i]) != 0) return false;
+    }
+    return true;
+  }
+};
+
+class SelectRunner {
+ public:
+  SelectRunner(const Database& db, const SelectStatement& stmt)
+      : db_(db), stmt_(stmt) {}
+
+  Result<ResultTable> Run() {
+    Status s = BuildScope();
+    if (!s.ok()) return s;
+    s = ExpandStars();
+    if (!s.ok()) return s;
+    s = RewriteAliasRefs();
+    if (!s.ok()) return s;
+    s = ResolveAll();
+    if (!s.ok()) return s;
+    auto rows = ProduceJoinedRows();
+    if (!rows.ok()) return rows.status();
+    return Project(std::move(rows).value());
+  }
+
+ private:
+  // ---------------------------------------------------------------- setup
+  Status BuildScope() {
+    Status s = scope_.AddTable(db_, stmt_.from);
+    if (!s.ok()) return s;
+    for (const auto& join : stmt_.joins) {
+      s = scope_.AddTable(db_, join.table);
+      if (!s.ok()) return s;
+    }
+    return Status::Ok();
+  }
+
+  /// Replaces a bare `SELECT *` / `SELECT t.*` with explicit column refs so
+  /// downstream stages see a uniform select list.
+  Status ExpandStars() {
+    bool has_star = false;
+    for (const auto& item : stmt_.select_list) {
+      if (item.expr->kind == ExprKind::kStar) has_star = true;
+    }
+    if (!has_star) return Status::Ok();
+    for (const auto& item : stmt_.select_list) {
+      if (item.expr->kind == ExprKind::kStar &&
+          stmt_.select_list.size() > 1) {
+        return Status::BindError("'*' must be the only select item");
+      }
+    }
+    const Expr& star = *stmt_.select_list[0].expr;
+    std::string qualifier = ToLower(star.table);
+    expanded_select_.clear();
+    for (const auto& entry : scope_.entries()) {
+      if (!qualifier.empty() && entry.binding != qualifier) continue;
+      const TableDef& def = db_.schema().tables[entry.table_index];
+      for (const auto& col : def.columns) {
+        SelectItem item;
+        item.expr = Expr::MakeColumn(entry.binding, col.name);
+        item.alias = col.name;
+        expanded_select_.push_back(std::move(item));
+      }
+    }
+    if (expanded_select_.empty()) {
+      return Status::BindError("'*' expansion produced no columns");
+    }
+    use_expanded_ = true;
+    return Status::Ok();
+  }
+
+  std::vector<SelectItem>& select_list() {
+    return use_expanded_ ? expanded_select_
+                         : const_cast<std::vector<SelectItem>&>(
+                               stmt_.select_list);
+  }
+
+  /// ORDER BY / GROUP BY / HAVING may reference select aliases or 1-based
+  /// positions; rewrite those references to clones of the select exprs.
+  Status RewriteAliasRefs() {
+    auto rewrite = [this](std::unique_ptr<Expr>& e) -> Status {
+      if (!e) return Status::Ok();
+      // Positional reference.
+      if (e->kind == ExprKind::kLiteral && e->literal.is_integer()) {
+        int64_t pos = e->literal.AsInteger();
+        if (pos >= 1 &&
+            pos <= static_cast<int64_t>(select_list().size())) {
+          e = select_list()[pos - 1].expr->Clone();
+        }
+        return Status::Ok();
+      }
+      // Alias reference: unqualified name matching an alias and not a
+      // resolvable column.
+      if (e->kind == ExprKind::kColumnRef && e->table.empty()) {
+        auto direct = scope_.ResolveColumn(db_, "", e->column);
+        if (!direct.ok()) {
+          for (const auto& item : select_list()) {
+            if (!item.alias.empty() &&
+                ToLower(item.alias) == ToLower(e->column)) {
+              e = item.expr->Clone();
+              return Status::Ok();
+            }
+          }
+        }
+      }
+      return Status::Ok();
+    };
+    for (auto& o : const_cast<std::vector<OrderItem>&>(stmt_.order_by)) {
+      Status s = rewrite(o.expr);
+      if (!s.ok()) return s;
+    }
+    for (auto& g :
+         const_cast<std::vector<std::unique_ptr<Expr>>&>(stmt_.group_by)) {
+      Status s = rewrite(g);
+      if (!s.ok()) return s;
+    }
+    if (stmt_.having) {
+      // Aliases inside HAVING are rewritten recursively at the top level
+      // only; nested alias uses are rare in benchmark SQL.
+      Status s = rewrite(const_cast<std::unique_ptr<Expr>&>(stmt_.having));
+      if (!s.ok()) return s;
+    }
+    return Status::Ok();
+  }
+
+  Status ResolveExpr(const Expr& e) {
+    if (e.kind == ExprKind::kColumnRef) {
+      auto idx = scope_.ResolveColumn(db_, e.table, e.column);
+      if (!idx.ok()) return idx.status();
+      e.resolved_index = *idx;
+      return Status::Ok();
+    }
+    if (e.kind == ExprKind::kInSubquery || e.kind == ExprKind::kScalarSubquery) {
+      // Uncorrelated subqueries execute independently; results are cached
+      // in subquery_cache_ at evaluation time.
+    }
+    for (const auto& child : e.children) {
+      Status s = ResolveExpr(*child);
+      if (!s.ok()) return s;
+    }
+    return Status::Ok();
+  }
+
+  Status ResolveAll() {
+    for (const auto& item : select_list()) {
+      Status s = ResolveExpr(*item.expr);
+      if (!s.ok()) return s;
+    }
+    for (const auto& join : stmt_.joins) {
+      if (join.condition) {
+        Status s = ResolveExpr(*join.condition);
+        if (!s.ok()) return s;
+      }
+    }
+    if (stmt_.where) {
+      Status s = ResolveExpr(*stmt_.where);
+      if (!s.ok()) return s;
+    }
+    for (const auto& g : stmt_.group_by) {
+      Status s = ResolveExpr(*g);
+      if (!s.ok()) return s;
+    }
+    if (stmt_.having) {
+      Status s = ResolveExpr(*stmt_.having);
+      if (!s.ok()) return s;
+    }
+    for (const auto& o : stmt_.order_by) {
+      Status s = ResolveExpr(*o.expr);
+      if (!s.ok()) return s;
+    }
+    return Status::Ok();
+  }
+
+  // ------------------------------------------------------------ join phase
+  /// Computes the joined, WHERE-filtered working rows.
+  Result<std::vector<Row>> ProduceJoinedRows() {
+    // Seed with the first table.
+    const auto& entries = scope_.entries();
+    std::vector<Row> current;
+    {
+      const Table& t = db_.TableAt(entries[0].table_index);
+      current.reserve(t.rows.size());
+      for (const auto& row : t.rows) current.push_back(row);
+    }
+    int current_width =
+        static_cast<int>(db_.schema().tables[entries[0].table_index].columns.size());
+
+    for (size_t j = 0; j < stmt_.joins.size(); ++j) {
+      const JoinClause& join = stmt_.joins[j];
+      const ScopeEntry& entry = entries[j + 1];
+      const Table& right = db_.TableAt(entry.table_index);
+      int right_width =
+          static_cast<int>(db_.schema().tables[entry.table_index].columns.size());
+
+      // Try hash join: condition of form colA = colB with one side in the
+      // accumulated prefix and the other in the new table.
+      int left_key = -1;
+      int right_key = -1;
+      if (join.condition && join.condition->kind == ExprKind::kBinary &&
+          join.condition->binary_op == BinaryOp::kEq) {
+        const Expr& lhs = *join.condition->children[0];
+        const Expr& rhs = *join.condition->children[1];
+        if (lhs.kind == ExprKind::kColumnRef &&
+            rhs.kind == ExprKind::kColumnRef) {
+          int li = lhs.resolved_index;
+          int ri = rhs.resolved_index;
+          int new_offset = entry.offset;
+          if (li < new_offset && ri >= new_offset) {
+            left_key = li;
+            right_key = ri - new_offset;
+          } else if (ri < new_offset && li >= new_offset) {
+            left_key = ri;
+            right_key = li - new_offset;
+          }
+        }
+      }
+
+      std::vector<Row> next;
+      if (left_key >= 0) {
+        // Hash join on equality keys.
+        std::unordered_multimap<size_t, const Row*> table;
+        table.reserve(right.rows.size());
+        for (const auto& rrow : right.rows) {
+          if (rrow[right_key].is_null()) continue;
+          table.emplace(rrow[right_key].Hash(), &rrow);
+        }
+        for (const auto& lrow : current) {
+          const Value& key = lrow[left_key];
+          if (key.is_null()) continue;
+          auto range = table.equal_range(key.Hash());
+          for (auto it = range.first; it != range.second; ++it) {
+            const Row& rrow = *it->second;
+            if (!key.SqlEquals(rrow[right_key])) continue;
+            Row combined = lrow;
+            combined.insert(combined.end(), rrow.begin(), rrow.end());
+            next.push_back(std::move(combined));
+            if (next.size() > kMaxIntermediateRows) {
+              return Status::ExecutionError("join result too large");
+            }
+          }
+        }
+      } else {
+        // Nested-loop join with optional theta condition.
+        for (const auto& lrow : current) {
+          for (const auto& rrow : right.rows) {
+            Row combined = lrow;
+            combined.insert(combined.end(), rrow.begin(), rrow.end());
+            if (join.condition) {
+              auto v = Eval(*join.condition, combined);
+              if (!v.ok()) return v.status();
+              if (!Truthy(*v)) continue;
+            }
+            next.push_back(std::move(combined));
+            if (next.size() > kMaxIntermediateRows) {
+              return Status::ExecutionError("join result too large");
+            }
+          }
+        }
+      }
+      current = std::move(next);
+      current_width += right_width;
+      (void)current_width;
+    }
+
+    if (stmt_.where) {
+      std::vector<Row> filtered;
+      filtered.reserve(current.size());
+      for (auto& row : current) {
+        auto v = Eval(*stmt_.where, row);
+        if (!v.ok()) return v.status();
+        if (Truthy(*v)) filtered.push_back(std::move(row));
+      }
+      current = std::move(filtered);
+    }
+    return current;
+  }
+
+  // ------------------------------------------------------- expression eval
+  static bool Truthy(const Value& v) {
+    if (v.is_null()) return false;
+    return v.ToNumeric() != 0.0;
+  }
+
+  /// Evaluates `e` against a working row. Aggregate nodes must have their
+  /// `agg_result` precomputed (use_agg_result set) when this is called in
+  /// post-aggregation context.
+  Result<Value> Eval(const Expr& e, const Row& row) {
+    switch (e.kind) {
+      case ExprKind::kLiteral:
+        return e.literal;
+      case ExprKind::kColumnRef:
+        if (e.resolved_index < 0 ||
+            e.resolved_index >= static_cast<int>(row.size())) {
+          return Status::Internal("unresolved column " + e.column);
+        }
+        return row[e.resolved_index];
+      case ExprKind::kStar:
+        return Status::ExecutionError("'*' outside COUNT(*)");
+      case ExprKind::kUnary: {
+        auto inner = Eval(*e.children[0], row);
+        if (!inner.ok()) return inner.status();
+        switch (e.unary_op) {
+          case UnaryOp::kNot:
+            if (inner->is_null()) return Value();
+            return Value(static_cast<int64_t>(Truthy(*inner) ? 0 : 1));
+          case UnaryOp::kNegate:
+            if (inner->is_null()) return Value();
+            if (inner->is_integer()) return Value(-inner->AsInteger());
+            return Value(-inner->ToNumeric());
+          case UnaryOp::kIsNull:
+            return Value(static_cast<int64_t>(inner->is_null() ? 1 : 0));
+          case UnaryOp::kIsNotNull:
+            return Value(static_cast<int64_t>(inner->is_null() ? 0 : 1));
+        }
+        return Value();
+      }
+      case ExprKind::kBinary:
+        return EvalBinary(e, row);
+      case ExprKind::kFunction:
+        return EvalFunction(e, row);
+      case ExprKind::kBetween: {
+        auto v = Eval(*e.children[0], row);
+        if (!v.ok()) return v.status();
+        auto lo = Eval(*e.children[1], row);
+        if (!lo.ok()) return lo.status();
+        auto hi = Eval(*e.children[2], row);
+        if (!hi.ok()) return hi.status();
+        if (v->is_null() || lo->is_null() || hi->is_null()) return Value();
+        bool in_range = v->Compare(*lo) >= 0 && v->Compare(*hi) <= 0;
+        if (e.negated) in_range = !in_range;
+        return Value(static_cast<int64_t>(in_range ? 1 : 0));
+      }
+      case ExprKind::kInList: {
+        auto v = Eval(*e.children[0], row);
+        if (!v.ok()) return v.status();
+        if (v->is_null()) return Value();
+        bool found = false;
+        for (const auto& item : e.in_list) {
+          if (v->SqlEquals(item)) {
+            found = true;
+            break;
+          }
+        }
+        if (e.negated) found = !found;
+        return Value(static_cast<int64_t>(found ? 1 : 0));
+      }
+      case ExprKind::kInSubquery: {
+        auto v = Eval(*e.children[0], row);
+        if (!v.ok()) return v.status();
+        if (v->is_null()) return Value();
+        auto sub = SubqueryValues(e);
+        if (!sub.ok()) return sub.status();
+        bool found = false;
+        for (const auto& item : **sub) {
+          if (v->SqlEquals(item)) {
+            found = true;
+            break;
+          }
+        }
+        if (e.negated) found = !found;
+        return Value(static_cast<int64_t>(found ? 1 : 0));
+      }
+      case ExprKind::kScalarSubquery: {
+        auto sub = SubqueryValues(e);
+        if (!sub.ok()) return sub.status();
+        if ((*sub)->empty()) return Value();
+        return (**sub)[0];
+      }
+      case ExprKind::kCast: {
+        auto v = Eval(*e.children[0], row);
+        if (!v.ok()) return v.status();
+        if (v->is_null()) return Value();
+        switch (e.cast_type) {
+          case DataType::kInteger:
+            return Value(static_cast<int64_t>(v->ToNumeric()));
+          case DataType::kReal:
+            return Value(v->ToNumeric());
+          case DataType::kText:
+            return Value(v->ToString());
+        }
+        return Value();
+      }
+    }
+    return Status::Internal("unhandled expression kind");
+  }
+
+  Result<Value> EvalBinary(const Expr& e, const Row& row) {
+    // Short-circuit logic with SQLite-style NULL propagation.
+    if (e.binary_op == BinaryOp::kAnd || e.binary_op == BinaryOp::kOr) {
+      auto l = Eval(*e.children[0], row);
+      if (!l.ok()) return l.status();
+      auto r = Eval(*e.children[1], row);
+      if (!r.ok()) return r.status();
+      bool lnull = l->is_null();
+      bool rnull = r->is_null();
+      bool lt = !lnull && Truthy(*l);
+      bool rt = !rnull && Truthy(*r);
+      if (e.binary_op == BinaryOp::kAnd) {
+        if ((!lnull && !lt) || (!rnull && !rt)) {
+          return Value(static_cast<int64_t>(0));
+        }
+        if (lnull || rnull) return Value();
+        return Value(static_cast<int64_t>(1));
+      }
+      if (lt || rt) return Value(static_cast<int64_t>(1));
+      if (lnull || rnull) return Value();
+      return Value(static_cast<int64_t>(0));
+    }
+
+    auto l = Eval(*e.children[0], row);
+    if (!l.ok()) return l.status();
+    auto r = Eval(*e.children[1], row);
+    if (!r.ok()) return r.status();
+
+    switch (e.binary_op) {
+      case BinaryOp::kEq:
+      case BinaryOp::kNe:
+      case BinaryOp::kLt:
+      case BinaryOp::kLe:
+      case BinaryOp::kGt:
+      case BinaryOp::kGe: {
+        if (l->is_null() || r->is_null()) return Value();
+        // Text-vs-text compares lexicographically; otherwise numeric.
+        int cmp;
+        if (l->is_text() && r->is_text()) {
+          cmp = l->Compare(*r);
+        } else if (l->is_numeric() || r->is_numeric()) {
+          double a = l->ToNumeric();
+          double b = r->ToNumeric();
+          cmp = (a < b) ? -1 : (a > b ? 1 : 0);
+          // Equality between text and number also requires exact text match
+          // of the numeric rendering to avoid '2009-01-01' == 2009.
+          if (cmp == 0 && l->is_text() != r->is_text()) {
+            const Value& text_side = l->is_text() ? *l : *r;
+            const Value& num_side = l->is_text() ? *r : *l;
+            if (Trim(text_side.AsText()) != num_side.ToString() &&
+                text_side.ToNumeric() != num_side.ToNumeric()) {
+              cmp = 1;
+            }
+          }
+        } else {
+          cmp = l->Compare(*r);
+        }
+        bool out = false;
+        switch (e.binary_op) {
+          case BinaryOp::kEq: out = (cmp == 0); break;
+          case BinaryOp::kNe: out = (cmp != 0); break;
+          case BinaryOp::kLt: out = (cmp < 0); break;
+          case BinaryOp::kLe: out = (cmp <= 0); break;
+          case BinaryOp::kGt: out = (cmp > 0); break;
+          case BinaryOp::kGe: out = (cmp >= 0); break;
+          default: break;
+        }
+        return Value(static_cast<int64_t>(out ? 1 : 0));
+      }
+      case BinaryOp::kAdd:
+      case BinaryOp::kSub:
+      case BinaryOp::kMul:
+      case BinaryOp::kDiv: {
+        if (l->is_null() || r->is_null()) return Value();
+        double a = l->ToNumeric();
+        double b = r->ToNumeric();
+        bool both_int = l->is_integer() && r->is_integer();
+        switch (e.binary_op) {
+          case BinaryOp::kAdd:
+            return both_int ? Value(l->AsInteger() + r->AsInteger())
+                            : Value(a + b);
+          case BinaryOp::kSub:
+            return both_int ? Value(l->AsInteger() - r->AsInteger())
+                            : Value(a - b);
+          case BinaryOp::kMul:
+            return both_int ? Value(l->AsInteger() * r->AsInteger())
+                            : Value(a * b);
+          case BinaryOp::kDiv:
+            if (b == 0.0) return Value();
+            if (both_int && r->AsInteger() != 0) {
+              return Value(l->AsInteger() / r->AsInteger());
+            }
+            return Value(a / b);
+          default:
+            break;
+        }
+        return Value();
+      }
+      case BinaryOp::kConcat: {
+        if (l->is_null() || r->is_null()) return Value();
+        return Value(l->ToString() + r->ToString());
+      }
+      case BinaryOp::kLike:
+      case BinaryOp::kNotLike: {
+        if (l->is_null() || r->is_null()) return Value();
+        bool match = LikeMatch(l->ToString(), r->ToString());
+        if (e.binary_op == BinaryOp::kNotLike) match = !match;
+        return Value(static_cast<int64_t>(match ? 1 : 0));
+      }
+      default:
+        break;
+    }
+    return Status::Internal("unhandled binary op");
+  }
+
+  /// SQL LIKE with % and _ wildcards, ASCII case-insensitive.
+  static bool LikeMatch(const std::string& text_raw,
+                        const std::string& pattern_raw) {
+    std::string text = ToLower(text_raw);
+    std::string pattern = ToLower(pattern_raw);
+    size_t ti = 0, pi = 0, star_ti = std::string::npos, star_pi = 0;
+    while (ti < text.size()) {
+      if (pi < pattern.size() &&
+          (pattern[pi] == '_' || pattern[pi] == text[ti])) {
+        ++ti;
+        ++pi;
+      } else if (pi < pattern.size() && pattern[pi] == '%') {
+        star_pi = pi++;
+        star_ti = ti;
+      } else if (star_ti != std::string::npos) {
+        pi = star_pi + 1;
+        ti = ++star_ti;
+      } else {
+        return false;
+      }
+    }
+    while (pi < pattern.size() && pattern[pi] == '%') ++pi;
+    return pi == pattern.size();
+  }
+
+  Result<Value> EvalFunction(const Expr& e, const Row& row) {
+    if (e.IsAggregate()) {
+      if (!e.use_agg_result) {
+        return Status::ExecutionError("aggregate " + e.function +
+                                      " used outside aggregation context");
+      }
+      return e.agg_result;
+    }
+    auto arg = [&](size_t i) -> Result<Value> {
+      if (i >= e.children.size()) {
+        return Status::ExecutionError(e.function + ": missing argument");
+      }
+      return Eval(*e.children[i], row);
+    };
+    const std::string& f = e.function;
+    if (f == "ABS") {
+      auto v = arg(0);
+      if (!v.ok()) return v.status();
+      if (v->is_null()) return Value();
+      if (v->is_integer()) return Value(std::abs(v->AsInteger()));
+      return Value(std::abs(v->ToNumeric()));
+    }
+    if (f == "ROUND") {
+      auto v = arg(0);
+      if (!v.ok()) return v.status();
+      if (v->is_null()) return Value();
+      int64_t digits = 0;
+      if (e.children.size() > 1) {
+        auto d = arg(1);
+        if (!d.ok()) return d.status();
+        digits = static_cast<int64_t>(d->ToNumeric());
+      }
+      double scale = std::pow(10.0, static_cast<double>(digits));
+      return Value(std::round(v->ToNumeric() * scale) / scale);
+    }
+    if (f == "LENGTH") {
+      auto v = arg(0);
+      if (!v.ok()) return v.status();
+      if (v->is_null()) return Value();
+      return Value(static_cast<int64_t>(v->ToString().size()));
+    }
+    if (f == "UPPER" || f == "LOWER") {
+      auto v = arg(0);
+      if (!v.ok()) return v.status();
+      if (v->is_null()) return Value();
+      return Value(f == "UPPER" ? ToUpper(v->ToString())
+                                : ToLower(v->ToString()));
+    }
+    if (f == "SUBSTR" || f == "SUBSTRING") {
+      auto v = arg(0);
+      if (!v.ok()) return v.status();
+      if (v->is_null()) return Value();
+      auto start_v = arg(1);
+      if (!start_v.ok()) return start_v.status();
+      std::string s = v->ToString();
+      int64_t start = static_cast<int64_t>(start_v->ToNumeric());
+      int64_t len = static_cast<int64_t>(s.size());
+      if (e.children.size() > 2) {
+        auto len_v = arg(2);
+        if (!len_v.ok()) return len_v.status();
+        len = static_cast<int64_t>(len_v->ToNumeric());
+      }
+      // 1-based indexing per SQL; negative start counts from the end.
+      int64_t begin = start > 0 ? start - 1
+                                : std::max<int64_t>(0, static_cast<int64_t>(s.size()) + start);
+      if (begin >= static_cast<int64_t>(s.size()) || len <= 0) {
+        return Value(std::string());
+      }
+      return Value(s.substr(static_cast<size_t>(begin),
+                            static_cast<size_t>(len)));
+    }
+    if (f == "COALESCE") {
+      for (size_t i = 0; i < e.children.size(); ++i) {
+        auto v = arg(i);
+        if (!v.ok()) return v.status();
+        if (!v->is_null()) return *v;
+      }
+      return Value();
+    }
+    return Status::ExecutionError("unknown function: " + f);
+  }
+
+  /// First-column values of an uncorrelated subquery, cached per node.
+  Result<const std::vector<Value>*> SubqueryValues(const Expr& e) {
+    auto it = subquery_cache_.find(&e);
+    if (it == subquery_cache_.end()) {
+      Executor sub_exec(db_);
+      auto result = sub_exec.Execute(*e.subquery);
+      if (!result.ok()) return result.status();
+      if (result->NumColumns() < 1) {
+        return Status::ExecutionError("subquery returned no columns");
+      }
+      std::vector<Value> values;
+      values.reserve(result->rows.size());
+      for (const auto& r : result->rows) values.push_back(r[0]);
+      it = subquery_cache_.emplace(&e, std::move(values)).first;
+    }
+    return &it->second;
+  }
+
+  // ------------------------------------------------------ projection phase
+  Result<ResultTable> Project(std::vector<Row> rows) {
+    bool has_agg = !stmt_.group_by.empty();
+    for (const auto& item : select_list()) {
+      if (item.expr->ContainsAggregate()) has_agg = true;
+    }
+    if (stmt_.having && stmt_.having->ContainsAggregate()) has_agg = true;
+    for (const auto& o : stmt_.order_by) {
+      if (o.expr->ContainsAggregate()) has_agg = true;
+    }
+
+    ResultTable result;
+    for (const auto& item : select_list()) {
+      result.column_names.push_back(
+          item.alias.empty() ? item.expr->ToSql() : item.alias);
+    }
+
+    // Each output row remembers its ORDER BY keys.
+    struct Keyed {
+      Row out;
+      std::vector<Value> keys;
+    };
+    std::vector<Keyed> keyed_rows;
+
+    if (!has_agg) {
+      for (const auto& row : rows) {
+        Keyed k;
+        for (const auto& item : select_list()) {
+          auto v = Eval(*item.expr, row);
+          if (!v.ok()) return v.status();
+          k.out.push_back(std::move(*v));
+        }
+        for (const auto& o : stmt_.order_by) {
+          auto v = Eval(*o.expr, row);
+          if (!v.ok()) return v.status();
+          k.keys.push_back(std::move(*v));
+        }
+        keyed_rows.push_back(std::move(k));
+      }
+    } else {
+      // Group rows.
+      std::unordered_map<Row, std::vector<const Row*>, RowHash, RowEq> groups;
+      std::vector<Row> group_order;  // deterministic iteration
+      for (const auto& row : rows) {
+        Row key;
+        for (const auto& g : stmt_.group_by) {
+          auto v = Eval(*g, row);
+          if (!v.ok()) return v.status();
+          key.push_back(std::move(*v));
+        }
+        auto [it, inserted] = groups.try_emplace(key);
+        if (inserted) group_order.push_back(key);
+        it->second.push_back(&row);
+      }
+      // Global aggregation over zero rows still yields one group.
+      if (stmt_.group_by.empty() && groups.empty()) {
+        groups.try_emplace(Row{});
+        group_order.push_back(Row{});
+      }
+
+      // Collect all aggregate nodes referenced by the query.
+      std::vector<const Expr*> agg_nodes;
+      auto collect = [&agg_nodes](const Expr& e, auto&& self) -> void {
+        if (e.IsAggregate()) {
+          agg_nodes.push_back(&e);
+          return;  // no nested aggregates
+        }
+        for (const auto& c : e.children) self(*c, self);
+      };
+      for (const auto& item : select_list()) collect(*item.expr, collect);
+      if (stmt_.having) collect(*stmt_.having, collect);
+      for (const auto& o : stmt_.order_by) collect(*o.expr, collect);
+
+      for (const auto& key : group_order) {
+        const auto& members = groups[key];
+        // Compute aggregates for this group.
+        for (const Expr* agg : agg_nodes) {
+          auto v = ComputeAggregate(*agg, members);
+          if (!v.ok()) return v.status();
+          agg->agg_result = std::move(*v);
+          agg->use_agg_result = true;
+        }
+        // Representative row for evaluating group keys inside exprs.
+        Row representative;
+        if (!members.empty()) {
+          representative = *members[0];
+        } else {
+          representative.assign(static_cast<size_t>(scope_.width()), Value());
+        }
+        if (stmt_.having) {
+          auto hv = Eval(*stmt_.having, representative);
+          if (!hv.ok()) return hv.status();
+          if (!Truthy(*hv)) continue;
+        }
+        Keyed k;
+        for (const auto& item : select_list()) {
+          auto v = Eval(*item.expr, representative);
+          if (!v.ok()) return v.status();
+          k.out.push_back(std::move(*v));
+        }
+        for (const auto& o : stmt_.order_by) {
+          auto v = Eval(*o.expr, representative);
+          if (!v.ok()) return v.status();
+          k.keys.push_back(std::move(*v));
+        }
+        keyed_rows.push_back(std::move(k));
+      }
+      // Reset aggregate scratch state so the AST can be reused.
+      for (const Expr* agg : agg_nodes) agg->use_agg_result = false;
+    }
+
+    // DISTINCT.
+    if (stmt_.distinct) {
+      std::unordered_map<Row, bool, RowHash, RowEq> seen;
+      std::vector<Keyed> unique;
+      for (auto& k : keyed_rows) {
+        if (seen.try_emplace(k.out, true).second) {
+          unique.push_back(std::move(k));
+        }
+      }
+      keyed_rows = std::move(unique);
+    }
+
+    // ORDER BY (stable sort keeps input order for ties).
+    if (!stmt_.order_by.empty()) {
+      std::stable_sort(keyed_rows.begin(), keyed_rows.end(),
+                       [this](const Keyed& a, const Keyed& b) {
+                         for (size_t i = 0; i < stmt_.order_by.size(); ++i) {
+                           int cmp = a.keys[i].Compare(b.keys[i]);
+                           if (cmp != 0) {
+                             return stmt_.order_by[i].ascending ? cmp < 0
+                                                                : cmp > 0;
+                           }
+                         }
+                         return false;
+                       });
+    }
+
+    // LIMIT.
+    if (stmt_.limit.has_value() &&
+        keyed_rows.size() > static_cast<size_t>(*stmt_.limit)) {
+      keyed_rows.resize(static_cast<size_t>(std::max<int64_t>(0, *stmt_.limit)));
+    }
+
+    result.rows.reserve(keyed_rows.size());
+    for (auto& k : keyed_rows) result.rows.push_back(std::move(k.out));
+    return result;
+  }
+
+  Result<Value> ComputeAggregate(const Expr& agg,
+                                 const std::vector<const Row*>& members) {
+    const std::string& f = agg.function;
+    bool star = !agg.children.empty() &&
+                agg.children[0]->kind == ExprKind::kStar;
+    if (f == "COUNT" && (agg.children.empty() || star)) {
+      return Value(static_cast<int64_t>(members.size()));
+    }
+    if (agg.children.empty()) {
+      return Status::ExecutionError(f + " requires an argument");
+    }
+    std::vector<Value> values;
+    values.reserve(members.size());
+    for (const Row* row : members) {
+      auto v = Eval(*agg.children[0], *row);
+      if (!v.ok()) return v.status();
+      if (!v->is_null()) values.push_back(std::move(*v));
+    }
+    if (agg.distinct_arg) {
+      std::vector<Value> unique;
+      for (auto& v : values) {
+        bool seen = false;
+        for (const auto& u : unique) {
+          if (u.Compare(v) == 0) {
+            seen = true;
+            break;
+          }
+        }
+        if (!seen) unique.push_back(std::move(v));
+      }
+      values = std::move(unique);
+    }
+    if (f == "COUNT") return Value(static_cast<int64_t>(values.size()));
+    if (values.empty()) return Value();  // SUM/AVG/MIN/MAX of nothing: NULL
+    if (f == "SUM" || f == "AVG") {
+      bool all_int = true;
+      double total = 0;
+      int64_t itotal = 0;
+      for (const auto& v : values) {
+        total += v.ToNumeric();
+        if (v.is_integer()) {
+          itotal += v.AsInteger();
+        } else {
+          all_int = false;
+        }
+      }
+      if (f == "SUM") {
+        if (all_int) return Value(itotal);
+        return Value(total);
+      }
+      return Value(total / static_cast<double>(values.size()));
+    }
+    if (f == "MIN" || f == "MAX") {
+      const Value* best = &values[0];
+      for (const auto& v : values) {
+        int cmp = v.Compare(*best);
+        if ((f == "MIN" && cmp < 0) || (f == "MAX" && cmp > 0)) best = &v;
+      }
+      return *best;
+    }
+    return Status::ExecutionError("unknown aggregate: " + f);
+  }
+
+  const Database& db_;
+  const SelectStatement& stmt_;
+  Scope scope_;
+  bool use_expanded_ = false;
+  std::vector<SelectItem> expanded_select_;
+  std::unordered_map<const Expr*, std::vector<Value>> subquery_cache_;
+};
+
+/// Multiset-combining for set operations.
+std::vector<Row> DedupeRows(const std::vector<Row>& rows) {
+  std::unordered_map<Row, bool, RowHash, RowEq> seen;
+  std::vector<Row> out;
+  for (const auto& r : rows) {
+    if (seen.try_emplace(r, true).second) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ResultTable> Executor::Execute(const SelectStatement& stmt) const {
+  SelectRunner runner(db_, stmt);
+  auto left = runner.Run();
+  if (!left.ok()) return left.status();
+  if (stmt.set_op == SetOp::kNone) return left;
+
+  auto right = Execute(*stmt.set_rhs);
+  if (!right.ok()) return right.status();
+  if (left->NumColumns() != right->NumColumns()) {
+    return Status::ExecutionError("set operands have different column counts");
+  }
+  ResultTable out;
+  out.column_names = left->column_names;
+  switch (stmt.set_op) {
+    case SetOp::kUnionAll: {
+      out.rows = left->rows;
+      out.rows.insert(out.rows.end(), right->rows.begin(), right->rows.end());
+      break;
+    }
+    case SetOp::kUnion: {
+      auto all = left->rows;
+      all.insert(all.end(), right->rows.begin(), right->rows.end());
+      out.rows = DedupeRows(all);
+      break;
+    }
+    case SetOp::kIntersect: {
+      std::unordered_map<Row, bool, RowHash, RowEq> in_right;
+      for (const auto& r : right->rows) in_right.try_emplace(r, true);
+      for (const auto& r : DedupeRows(left->rows)) {
+        if (in_right.count(r)) out.rows.push_back(r);
+      }
+      break;
+    }
+    case SetOp::kExcept: {
+      std::unordered_map<Row, bool, RowHash, RowEq> in_right;
+      for (const auto& r : right->rows) in_right.try_emplace(r, true);
+      for (const auto& r : DedupeRows(left->rows)) {
+        if (!in_right.count(r)) out.rows.push_back(r);
+      }
+      break;
+    }
+    case SetOp::kNone:
+      break;
+  }
+  return out;
+}
+
+Result<ResultTable> ExecuteSql(const Database& db, std::string_view sql) {
+  auto stmt = ParseSql(sql);
+  if (!stmt.ok()) return stmt.status();
+  Executor executor(db);
+  return executor.Execute(**stmt);
+}
+
+bool IsExecutable(const Database& db, std::string_view sql) {
+  return ExecuteSql(db, sql).ok();
+}
+
+}  // namespace codes::sql

@@ -1,0 +1,42 @@
+#ifndef CODES_SQLENGINE_EXECUTOR_H_
+#define CODES_SQLENGINE_EXECUTOR_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/status.h"
+#include "sqlengine/ast.h"
+#include "sqlengine/database.h"
+#include "sqlengine/result_table.h"
+
+namespace codes::sql {
+
+/// Query executor over an in-memory Database.
+///
+/// Supported plan shapes: scans, inner equi-/theta-joins (hash join is used
+/// automatically for equality ON conditions), WHERE filters, grouped and
+/// global aggregation with HAVING, DISTINCT, ORDER BY (expressions, select
+/// aliases, or 1-based positions), LIMIT, set operations, uncorrelated IN /
+/// scalar subqueries, and the scalar functions ABS, ROUND, LENGTH, UPPER,
+/// LOWER, SUBSTR, CAST.
+class Executor {
+ public:
+  explicit Executor(const Database& db) : db_(db) {}
+
+  /// Executes `stmt` and returns the result table.
+  Result<ResultTable> Execute(const SelectStatement& stmt) const;
+
+ private:
+  const Database& db_;
+};
+
+/// Parses and executes `sql` against `db` in one step.
+Result<ResultTable> ExecuteSql(const Database& db, std::string_view sql);
+
+/// True if `sql` parses and executes without error ("is executable"), the
+/// predicate the paper uses to pick among beam candidates.
+bool IsExecutable(const Database& db, std::string_view sql);
+
+}  // namespace codes::sql
+
+#endif  // CODES_SQLENGINE_EXECUTOR_H_

@@ -1,0 +1,206 @@
+#include "sqlengine/fingerprint.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace codes::sql {
+
+namespace {
+
+bool ContainsScalarFn(const Expr& e) {
+  if (e.kind == ExprKind::kCast) return true;
+  if (e.kind == ExprKind::kFunction && !e.IsAggregate()) return true;
+  for (const auto& c : e.children) {
+    if (ContainsScalarFn(*c)) return true;
+  }
+  return false;
+}
+
+void CollectAggregates(const Expr& e, std::vector<std::string>& aggs,
+                       bool& has_star_count) {
+  if (e.IsAggregate()) {
+    std::string name = ToLower(e.function);
+    if (e.distinct_arg) name += "_distinct";
+    aggs.push_back(name);
+    if (e.function == "COUNT" && !e.children.empty() &&
+        e.children[0]->kind == ExprKind::kStar) {
+      has_star_count = true;
+    }
+    return;
+  }
+  for (const auto& c : e.children) CollectAggregates(*c, aggs, has_star_count);
+}
+
+char RhsTypeChar(const Expr& rhs) {
+  switch (rhs.kind) {
+    case ExprKind::kLiteral:
+      return rhs.literal.is_text() ? 't' : 'n';
+    case ExprKind::kColumnRef:
+      return 'c';
+    case ExprKind::kScalarSubquery:
+      return 'q';
+    default:
+      return 'x';
+  }
+}
+
+void CollectWhereOps(const Expr& e, std::vector<std::string>& ops,
+                     std::string& connector, SqlFingerprint& fp) {
+  switch (e.kind) {
+    case ExprKind::kBinary: {
+      if (e.binary_op == BinaryOp::kAnd || e.binary_op == BinaryOp::kOr) {
+        std::string c = (e.binary_op == BinaryOp::kAnd) ? "and" : "or";
+        if (connector.empty() || connector == c) {
+          connector = c;
+        } else {
+          connector = "mixed";
+        }
+        CollectWhereOps(*e.children[0], ops, connector, fp);
+        CollectWhereOps(*e.children[1], ops, connector, fp);
+        return;
+      }
+      std::string op;
+      switch (e.binary_op) {
+        case BinaryOp::kEq: op = "eq"; break;
+        case BinaryOp::kNe: op = "ne"; break;
+        case BinaryOp::kGt: op = "gt"; break;
+        case BinaryOp::kLt: op = "lt"; break;
+        case BinaryOp::kGe: op = "ge"; break;
+        case BinaryOp::kLe: op = "le"; break;
+        case BinaryOp::kLike:
+        case BinaryOp::kNotLike: {
+          std::string shape = "pre";
+          const Expr& rhs = *e.children[1];
+          if (rhs.kind == ExprKind::kLiteral && rhs.literal.is_text() &&
+              !rhs.literal.AsText().empty() &&
+              rhs.literal.AsText().front() == '%') {
+            shape = "sub";
+          }
+          ops.push_back((e.binary_op == BinaryOp::kNotLike ? "nlike:" : "like:") +
+                        shape);
+          return;
+        }
+        default: op = "expr"; break;
+      }
+      const Expr& rhs = *e.children[1];
+      if (rhs.kind == ExprKind::kScalarSubquery) fp.has_scalar_subquery = true;
+      std::string code = op;
+      code += ':';
+      code += RhsTypeChar(rhs);
+      if (ContainsScalarFn(*e.children[0]) || ContainsScalarFn(rhs)) {
+        code = "f" + code;
+      }
+      ops.push_back(std::move(code));
+      return;
+    }
+    case ExprKind::kBetween:
+      ops.push_back(e.negated ? "nbetween" : "between");
+      return;
+    case ExprKind::kInList:
+      ops.push_back(e.negated ? "notin" : "in");
+      return;
+    case ExprKind::kInSubquery:
+      fp.has_in_subquery = true;
+      ops.push_back(e.negated ? "notinq" : "inq");
+      return;
+    case ExprKind::kUnary:
+      if (e.unary_op == UnaryOp::kIsNull) {
+        ops.push_back("isnull");
+        return;
+      }
+      if (e.unary_op == UnaryOp::kIsNotNull) {
+        ops.push_back("notnull");
+        return;
+      }
+      if (!e.children.empty()) {
+        CollectWhereOps(*e.children[0], ops, connector, fp);
+      }
+      return;
+    default:
+      ops.push_back("expr");
+      return;
+  }
+}
+
+}  // namespace
+
+SqlFingerprint FingerprintOf(const SelectStatement& stmt) {
+  SqlFingerprint fp;
+  fp.join_count = static_cast<int>(stmt.joins.size());
+  fp.select_items = static_cast<int>(stmt.select_list.size());
+  fp.select_distinct = stmt.distinct;
+
+  std::vector<std::string> aggs;
+  for (const auto& item : stmt.select_list) {
+    const Expr& e = *item.expr;
+    if (e.kind == ExprKind::kStar) fp.select_star = true;
+    if (!e.IsAggregate() && ContainsScalarFn(e)) fp.select_scalar_fn = true;
+    CollectAggregates(e, aggs, fp.has_star_count);
+  }
+  std::sort(aggs.begin(), aggs.end());
+  fp.aggregates = Join(aggs, "+");
+
+  if (stmt.where) {
+    std::vector<std::string> ops;
+    CollectWhereOps(*stmt.where, ops, fp.where_connector, fp);
+    std::sort(ops.begin(), ops.end());
+    fp.where_ops = Join(ops, "+");
+  }
+
+  fp.has_group_by = !stmt.group_by.empty();
+  fp.has_having = (stmt.having != nullptr);
+  if (stmt.having) {
+    std::vector<std::string> having_aggs;
+    bool unused = false;
+    CollectAggregates(*stmt.having, having_aggs, unused);
+    std::sort(having_aggs.begin(), having_aggs.end());
+    fp.having_aggregate = Join(having_aggs, "+");
+  }
+  if (!stmt.order_by.empty()) {
+    fp.order = stmt.order_by[0].ascending ? "asc" : "desc";
+    fp.order_by_aggregate = stmt.order_by[0].expr->ContainsAggregate();
+  }
+  if (stmt.limit.has_value()) {
+    fp.limit_kind = (*stmt.limit == 1) ? 1 : 2;
+  }
+  switch (stmt.set_op) {
+    case SetOp::kUnion:
+    case SetOp::kUnionAll:
+      fp.set_op = "union";
+      break;
+    case SetOp::kIntersect:
+      fp.set_op = "intersect";
+      break;
+    case SetOp::kExcept:
+      fp.set_op = "except";
+      break;
+    case SetOp::kNone:
+      break;
+  }
+  return fp;
+}
+
+std::string SqlFingerprint::ToKey() const {
+  std::string key;
+  key += "j" + std::to_string(join_count);
+  key += "|s" + std::to_string(select_items);
+  key += select_distinct ? "|dist" : "";
+  key += select_star ? "|star" : "";
+  key += select_scalar_fn ? "|sfn" : "";
+  key += "|a:" + aggregates;
+  key += has_star_count ? "|cstar" : "";
+  key += "|w:" + where_ops;
+  key += "|wc:" + where_connector;
+  key += has_in_subquery ? "|inq" : "";
+  key += has_scalar_subquery ? "|ssq" : "";
+  key += has_group_by ? "|grp" : "";
+  key += has_having ? ("|hav:" + having_aggregate) : "";
+  key += "|o:" + order + (order_by_aggregate ? "@agg" : "");
+  key += "|l" + std::to_string(limit_kind);
+  key += "|set:" + set_op;
+  return key;
+}
+
+}  // namespace codes::sql

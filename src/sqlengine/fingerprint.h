@@ -1,0 +1,50 @@
+#ifndef CODES_SQLENGINE_FINGERPRINT_H_
+#define CODES_SQLENGINE_FINGERPRINT_H_
+
+#include <string>
+
+#include "sqlengine/ast.h"
+
+namespace codes::sql {
+
+/// A structural summary of a SELECT statement, abstracting away concrete
+/// schema names and literal values. Two queries produced by the same
+/// grammar template share a fingerprint; the generator and the SFT trainer
+/// use this to map gold SQL back to templates, and the Dr.Spider-style
+/// SQL-perturbation test sets use it to bucket queries by shape.
+///
+/// Predicates are encoded as "<op>:<rhs-type>" where rhs-type is one of
+/// t (text literal), n (numeric literal), c (column), q (subquery),
+/// x (other); a leading "f" marks predicates whose operand contains a
+/// scalar function or CAST. LIKE predicates encode their pattern shape
+/// ("like:pre" for 'abc%', "like:sub" for '%abc%').
+struct SqlFingerprint {
+  int join_count = 0;
+  int select_items = 0;
+  bool select_distinct = false;
+  bool select_star = false;      ///< bare '*' in the select list
+  bool select_scalar_fn = false; ///< non-aggregate function in select list
+  std::string aggregates;        ///< sorted agg names anywhere in select
+  bool has_star_count = false;   ///< COUNT(*) present
+  std::string where_ops;         ///< sorted predicate codes, "+"-joined
+  std::string where_connector;   ///< "", "and", "or"
+  bool has_in_subquery = false;
+  bool has_scalar_subquery = false;
+  bool has_group_by = false;
+  bool has_having = false;
+  std::string having_aggregate;  ///< agg name inside HAVING, if any
+  std::string order;             ///< "", "asc", "desc"
+  bool order_by_aggregate = false;
+  int limit_kind = 0;            ///< 0: none, 1: LIMIT 1, 2: LIMIT k>1
+  std::string set_op;            ///< "", "union", "intersect", "except"
+
+  /// Canonical string form used as a hash key.
+  std::string ToKey() const;
+};
+
+/// Computes the fingerprint of `stmt`.
+SqlFingerprint FingerprintOf(const SelectStatement& stmt);
+
+}  // namespace codes::sql
+
+#endif  // CODES_SQLENGINE_FINGERPRINT_H_

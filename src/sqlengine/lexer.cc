@@ -1,0 +1,161 @@
+#include "sqlengine/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace codes::sql {
+
+bool IsSqlKeyword(const std::string& word) {
+  static const std::unordered_set<std::string>* const kKeywords =
+      new std::unordered_set<std::string>{
+          "SELECT", "FROM",  "WHERE",    "GROUP",  "BY",      "HAVING",
+          "ORDER",  "LIMIT", "JOIN",     "INNER",  "LEFT",    "ON",
+          "AS",     "AND",   "OR",       "NOT",    "IN",      "BETWEEN",
+          "LIKE",   "IS",    "NULL",     "DISTINCT", "COUNT", "SUM",
+          "AVG",    "MIN",   "MAX",      "ASC",    "DESC",    "UNION",
+          "ALL",    "INTERSECT", "EXCEPT", "CAST", "INTEGER", "REAL",
+          "TEXT",   "CASE",  "WHEN",     "THEN",  "ELSE",     "END"};
+  return kKeywords->count(word) > 0;
+}
+
+Result<std::vector<Token>> LexSql(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.offset = i;
+    // String literal.
+    if (c == '\'') {
+      std::string text;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\'') {
+          if (i + 1 < n && input[i + 1] == '\'') {
+            text += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        text += input[i];
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(token.offset));
+      }
+      token.kind = TokenKind::kString;
+      token.text = std::move(text);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    // Quoted identifier: "name" or `name`.
+    if (c == '"' || c == '`') {
+      char quote = c;
+      std::string text;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == quote) {
+          closed = true;
+          ++i;
+          break;
+        }
+        text += input[i];
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated quoted identifier at offset " +
+                                  std::to_string(token.offset));
+      }
+      token.kind = TokenKind::kIdentifier;
+      token.text = std::move(text);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    // Number.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t start = i;
+      bool has_dot = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(input[i])) ||
+                       (input[i] == '.' && !has_dot))) {
+        if (input[i] == '.') has_dot = true;
+        ++i;
+      }
+      std::string text(input.substr(start, i - start));
+      if (has_dot) {
+        token.kind = TokenKind::kReal;
+        token.real_value = std::strtod(text.c_str(), nullptr);
+      } else {
+        token.kind = TokenKind::kInteger;
+        token.int_value = std::strtoll(text.c_str(), nullptr, 10);
+      }
+      token.text = std::move(text);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    // Identifier or keyword.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        ++i;
+      }
+      std::string word(input.substr(start, i - start));
+      std::string upper = ToUpper(word);
+      if (IsSqlKeyword(upper)) {
+        token.kind = TokenKind::kKeyword;
+        token.text = std::move(upper);
+      } else {
+        token.kind = TokenKind::kIdentifier;
+        token.text = std::move(word);
+      }
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    // Multi-character symbols.
+    if (i + 1 < n) {
+      std::string_view two = input.substr(i, 2);
+      if (two == "<=" || two == ">=" || two == "!=" || two == "<>" ||
+          two == "||") {
+        token.kind = TokenKind::kSymbol;
+        token.text = (two == "<>") ? "!=" : std::string(two);
+        tokens.push_back(std::move(token));
+        i += 2;
+        continue;
+      }
+    }
+    // Single-character symbols.
+    static const std::string kSymbols = "(),.*=<>+-/;";
+    if (kSymbols.find(c) != std::string::npos) {
+      token.kind = TokenKind::kSymbol;
+      token.text = std::string(1, c);
+      tokens.push_back(std::move(token));
+      ++i;
+      continue;
+    }
+    return Status::ParseError(std::string("unexpected character '") + c +
+                              "' at offset " + std::to_string(i));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace codes::sql

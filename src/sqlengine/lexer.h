@@ -1,0 +1,41 @@
+#ifndef CODES_SQLENGINE_LEXER_H_
+#define CODES_SQLENGINE_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace codes::sql {
+
+/// Token categories produced by the SQL lexer.
+enum class TokenKind {
+  kKeyword,     ///< SELECT, FROM, ... (uppercased in `text`)
+  kIdentifier,  ///< table/column names (original case in `text`)
+  kString,      ///< 'abc' with quotes stripped and '' unescaped
+  kInteger,
+  kReal,
+  kSymbol,      ///< punctuation/operators: ( ) , . = != <= ...
+  kEnd,
+};
+
+/// One lexical token. `text` holds the normalized spelling.
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  int64_t int_value = 0;
+  double real_value = 0.0;
+  size_t offset = 0;  ///< byte offset in the input, for error messages
+};
+
+/// True if `word` (already uppercased) is a reserved SQL keyword.
+bool IsSqlKeyword(const std::string& word);
+
+/// Tokenizes SQL text. Fails with ParseError on unterminated strings or
+/// illegal characters. The result always ends with a kEnd token.
+Result<std::vector<Token>> LexSql(std::string_view input);
+
+}  // namespace codes::sql
+
+#endif  // CODES_SQLENGINE_LEXER_H_

@@ -1,0 +1,557 @@
+#include "sqlengine/parser.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/string_util.h"
+#include "sqlengine/lexer.h"
+
+namespace codes::sql {
+
+namespace {
+
+/// Recursive-descent parser over the token stream. All Parse* methods
+/// return a Result; the first error aborts the parse.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::unique_ptr<SelectStatement>> ParseStatement() {
+    auto stmt = ParseSelect();
+    if (!stmt.ok()) return stmt.status();
+    // Optional trailing semicolon.
+    if (PeekSymbol(";")) Advance();
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("unexpected trailing input: '" + Peek().text + "'");
+    }
+    return std::move(stmt).value();
+  }
+
+ private:
+  const Token& Peek(int lookahead = 0) const {
+    size_t idx = pos_ + static_cast<size_t>(lookahead);
+    if (idx >= tokens_.size()) return tokens_.back();
+    return tokens_[idx];
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool PeekKeyword(std::string_view kw, int lookahead = 0) const {
+    const Token& t = Peek(lookahead);
+    return t.kind == TokenKind::kKeyword && t.text == kw;
+  }
+  bool PeekSymbol(std::string_view sym, int lookahead = 0) const {
+    const Token& t = Peek(lookahead);
+    return t.kind == TokenKind::kSymbol && t.text == sym;
+  }
+  bool AcceptKeyword(std::string_view kw) {
+    if (PeekKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool AcceptSymbol(std::string_view sym) {
+    if (PeekSymbol(sym)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(std::string_view kw) {
+    if (!AcceptKeyword(kw)) {
+      return Status::ParseError("expected " + std::string(kw) + " but found '" +
+                                Peek().text + "'");
+    }
+    return Status::Ok();
+  }
+  Status ExpectSymbol(std::string_view sym) {
+    if (!AcceptSymbol(sym)) {
+      return Status::ParseError("expected '" + std::string(sym) +
+                                "' but found '" + Peek().text + "'");
+    }
+    return Status::Ok();
+  }
+  Status Error(std::string msg) const {
+    return Status::ParseError(msg + " (at offset " +
+                              std::to_string(Peek().offset) + ")");
+  }
+
+  Result<std::unique_ptr<SelectStatement>> ParseSelect() {
+    auto stmt = std::make_unique<SelectStatement>();
+    Status s = ExpectKeyword("SELECT");
+    if (!s.ok()) return s;
+    if (AcceptKeyword("DISTINCT")) stmt->distinct = true;
+
+    // Select list.
+    while (true) {
+      SelectItem item;
+      auto expr = ParseExpr();
+      if (!expr.ok()) return expr.status();
+      item.expr = std::move(expr).value();
+      if (AcceptKeyword("AS")) {
+        if (Peek().kind != TokenKind::kIdentifier) {
+          return Error("expected alias after AS");
+        }
+        item.alias = Advance().text;
+      } else if (Peek().kind == TokenKind::kIdentifier &&
+                 !PeekKeyword("FROM")) {
+        // Bare alias ("SELECT name n FROM ...") — accepted like SQLite.
+        item.alias = Advance().text;
+      }
+      stmt->select_list.push_back(std::move(item));
+      if (!AcceptSymbol(",")) break;
+    }
+
+    s = ExpectKeyword("FROM");
+    if (!s.ok()) return s;
+    auto from = ParseTableRef();
+    if (!from.ok()) return from.status();
+    stmt->from = std::move(from).value();
+
+    // Joins.
+    while (true) {
+      bool is_join = false;
+      if (PeekKeyword("JOIN")) {
+        Advance();
+        is_join = true;
+      } else if (PeekKeyword("INNER") && PeekKeyword("JOIN", 1)) {
+        Advance();
+        Advance();
+        is_join = true;
+      } else if (PeekKeyword("LEFT")) {
+        // LEFT [OUTER] JOIN accepted and executed as inner join; the
+        // engine's workloads are FK joins where the two coincide.
+        Advance();
+        if (Peek().kind == TokenKind::kIdentifier &&
+            ToUpper(Peek().text) == "OUTER") {
+          Advance();
+        }
+        Status sj = ExpectKeyword("JOIN");
+        if (!sj.ok()) return sj;
+        is_join = true;
+      }
+      if (!is_join) break;
+      JoinClause join;
+      auto table = ParseTableRef();
+      if (!table.ok()) return table.status();
+      join.table = std::move(table).value();
+      if (AcceptKeyword("ON")) {
+        auto cond = ParseExpr();
+        if (!cond.ok()) return cond.status();
+        join.condition = std::move(cond).value();
+      }
+      stmt->joins.push_back(std::move(join));
+    }
+
+    if (AcceptKeyword("WHERE")) {
+      auto cond = ParseExpr();
+      if (!cond.ok()) return cond.status();
+      stmt->where = std::move(cond).value();
+    }
+
+    if (AcceptKeyword("GROUP")) {
+      s = ExpectKeyword("BY");
+      if (!s.ok()) return s;
+      while (true) {
+        auto expr = ParseExpr();
+        if (!expr.ok()) return expr.status();
+        stmt->group_by.push_back(std::move(expr).value());
+        if (!AcceptSymbol(",")) break;
+      }
+    }
+
+    if (AcceptKeyword("HAVING")) {
+      auto cond = ParseExpr();
+      if (!cond.ok()) return cond.status();
+      stmt->having = std::move(cond).value();
+    }
+
+    if (AcceptKeyword("ORDER")) {
+      s = ExpectKeyword("BY");
+      if (!s.ok()) return s;
+      while (true) {
+        OrderItem item;
+        auto expr = ParseExpr();
+        if (!expr.ok()) return expr.status();
+        item.expr = std::move(expr).value();
+        if (AcceptKeyword("DESC")) {
+          item.ascending = false;
+        } else {
+          AcceptKeyword("ASC");
+        }
+        stmt->order_by.push_back(std::move(item));
+        if (!AcceptSymbol(",")) break;
+      }
+    }
+
+    if (AcceptKeyword("LIMIT")) {
+      if (Peek().kind != TokenKind::kInteger) {
+        return Error("expected integer after LIMIT");
+      }
+      stmt->limit = Advance().int_value;
+    }
+
+    // Set operations.
+    if (AcceptKeyword("UNION")) {
+      stmt->set_op = AcceptKeyword("ALL") ? SetOp::kUnionAll : SetOp::kUnion;
+    } else if (AcceptKeyword("INTERSECT")) {
+      stmt->set_op = SetOp::kIntersect;
+    } else if (AcceptKeyword("EXCEPT")) {
+      stmt->set_op = SetOp::kExcept;
+    }
+    if (stmt->set_op != SetOp::kNone) {
+      auto rhs = ParseSelect();
+      if (!rhs.ok()) return rhs.status();
+      stmt->set_rhs = std::move(rhs).value();
+    }
+    return stmt;
+  }
+
+  Result<TableRef> ParseTableRef() {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Error("expected table name, found '" + Peek().text + "'");
+    }
+    TableRef ref;
+    ref.table = Advance().text;
+    if (AcceptKeyword("AS")) {
+      if (Peek().kind != TokenKind::kIdentifier) {
+        return Error("expected alias after AS");
+      }
+      ref.alias = Advance().text;
+    } else if (Peek().kind == TokenKind::kIdentifier) {
+      ref.alias = Advance().text;
+    }
+    return ref;
+  }
+
+  // Expression precedence (lowest first): OR, AND, NOT, comparison/IN/
+  // BETWEEN/LIKE/IS, additive/concat, multiplicative, unary, primary.
+  Result<std::unique_ptr<Expr>> ParseExpr() { return ParseOr(); }
+
+  Result<std::unique_ptr<Expr>> ParseOr() {
+    auto left = ParseAnd();
+    if (!left.ok()) return left.status();
+    auto node = std::move(left).value();
+    while (AcceptKeyword("OR")) {
+      auto right = ParseAnd();
+      if (!right.ok()) return right.status();
+      node = Expr::MakeBinary(BinaryOp::kOr, std::move(node),
+                              std::move(right).value());
+    }
+    return node;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseAnd() {
+    auto left = ParseNot();
+    if (!left.ok()) return left.status();
+    auto node = std::move(left).value();
+    while (PeekKeyword("AND")) {
+      Advance();
+      auto right = ParseNot();
+      if (!right.ok()) return right.status();
+      node = Expr::MakeBinary(BinaryOp::kAnd, std::move(node),
+                              std::move(right).value());
+    }
+    return node;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseNot() {
+    if (AcceptKeyword("NOT")) {
+      auto inner = ParseNot();
+      if (!inner.ok()) return inner.status();
+      return Expr::MakeUnary(UnaryOp::kNot, std::move(inner).value());
+    }
+    return ParseComparison();
+  }
+
+  Result<std::unique_ptr<Expr>> ParseComparison() {
+    auto left = ParseAdditive();
+    if (!left.ok()) return left.status();
+    auto node = std::move(left).value();
+
+    // IS [NOT] NULL
+    if (AcceptKeyword("IS")) {
+      bool negate = AcceptKeyword("NOT");
+      Status s = ExpectKeyword("NULL");
+      if (!s.ok()) return s;
+      return Expr::MakeUnary(negate ? UnaryOp::kIsNotNull : UnaryOp::kIsNull,
+                             std::move(node));
+    }
+
+    bool negated = false;
+    if (PeekKeyword("NOT") &&
+        (PeekKeyword("IN", 1) || PeekKeyword("BETWEEN", 1) ||
+         PeekKeyword("LIKE", 1))) {
+      Advance();
+      negated = true;
+    }
+
+    if (AcceptKeyword("BETWEEN")) {
+      auto lo = ParseAdditive();
+      if (!lo.ok()) return lo.status();
+      Status s = ExpectKeyword("AND");
+      if (!s.ok()) return s;
+      auto hi = ParseAdditive();
+      if (!hi.ok()) return hi.status();
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kBetween;
+      e->negated = negated;
+      e->children.push_back(std::move(node));
+      e->children.push_back(std::move(lo).value());
+      e->children.push_back(std::move(hi).value());
+      return e;
+    }
+
+    if (AcceptKeyword("IN")) {
+      Status s = ExpectSymbol("(");
+      if (!s.ok()) return s;
+      if (PeekKeyword("SELECT")) {
+        auto sub = ParseSelect();
+        if (!sub.ok()) return sub.status();
+        s = ExpectSymbol(")");
+        if (!s.ok()) return s;
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kInSubquery;
+        e->negated = negated;
+        e->children.push_back(std::move(node));
+        e->subquery = std::move(sub).value();
+        return e;
+      }
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kInList;
+      e->negated = negated;
+      e->children.push_back(std::move(node));
+      while (true) {
+        const Token& t = Peek();
+        if (t.kind == TokenKind::kString) {
+          e->in_list.emplace_back(Advance().text);
+        } else if (t.kind == TokenKind::kInteger) {
+          e->in_list.emplace_back(Advance().int_value);
+        } else if (t.kind == TokenKind::kReal) {
+          e->in_list.emplace_back(Advance().real_value);
+        } else if (t.kind == TokenKind::kKeyword && t.text == "NULL") {
+          Advance();
+          e->in_list.emplace_back();
+        } else {
+          return Error("expected literal in IN list");
+        }
+        if (!AcceptSymbol(",")) break;
+      }
+      s = ExpectSymbol(")");
+      if (!s.ok()) return s;
+      return e;
+    }
+
+    if (AcceptKeyword("LIKE")) {
+      auto right = ParseAdditive();
+      if (!right.ok()) return right.status();
+      return Expr::MakeBinary(negated ? BinaryOp::kNotLike : BinaryOp::kLike,
+                              std::move(node), std::move(right).value());
+    }
+    if (negated) return Error("dangling NOT");
+
+    struct OpMap {
+      const char* sym;
+      BinaryOp op;
+    };
+    static constexpr OpMap kOps[] = {
+        {"=", BinaryOp::kEq},  {"!=", BinaryOp::kNe}, {"<=", BinaryOp::kLe},
+        {">=", BinaryOp::kGe}, {"<", BinaryOp::kLt},  {">", BinaryOp::kGt},
+    };
+    for (const auto& [sym, op] : kOps) {
+      if (PeekSymbol(sym)) {
+        Advance();
+        auto right = ParseAdditive();
+        if (!right.ok()) return right.status();
+        return Expr::MakeBinary(op, std::move(node), std::move(right).value());
+      }
+    }
+    return node;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseAdditive() {
+    auto left = ParseMultiplicative();
+    if (!left.ok()) return left.status();
+    auto node = std::move(left).value();
+    while (true) {
+      BinaryOp op;
+      if (PeekSymbol("+")) {
+        op = BinaryOp::kAdd;
+      } else if (PeekSymbol("-")) {
+        op = BinaryOp::kSub;
+      } else if (PeekSymbol("||")) {
+        op = BinaryOp::kConcat;
+      } else {
+        break;
+      }
+      Advance();
+      auto right = ParseMultiplicative();
+      if (!right.ok()) return right.status();
+      node = Expr::MakeBinary(op, std::move(node), std::move(right).value());
+    }
+    return node;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseMultiplicative() {
+    auto left = ParseUnary();
+    if (!left.ok()) return left.status();
+    auto node = std::move(left).value();
+    while (true) {
+      BinaryOp op;
+      if (PeekSymbol("*")) {
+        op = BinaryOp::kMul;
+      } else if (PeekSymbol("/")) {
+        op = BinaryOp::kDiv;
+      } else {
+        break;
+      }
+      Advance();
+      auto right = ParseUnary();
+      if (!right.ok()) return right.status();
+      node = Expr::MakeBinary(op, std::move(node), std::move(right).value());
+    }
+    return node;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseUnary() {
+    if (AcceptSymbol("-")) {
+      auto inner = ParseUnary();
+      if (!inner.ok()) return inner.status();
+      return Expr::MakeUnary(UnaryOp::kNegate, std::move(inner).value());
+    }
+    return ParsePrimary();
+  }
+
+  Result<std::unique_ptr<Expr>> ParsePrimary() {
+    const Token& t = Peek();
+    // Literals.
+    if (t.kind == TokenKind::kString) {
+      return Expr::MakeLiteral(Value(Advance().text));
+    }
+    if (t.kind == TokenKind::kInteger) {
+      return Expr::MakeLiteral(Value(Advance().int_value));
+    }
+    if (t.kind == TokenKind::kReal) {
+      return Expr::MakeLiteral(Value(Advance().real_value));
+    }
+    if (t.kind == TokenKind::kKeyword && t.text == "NULL") {
+      Advance();
+      return Expr::MakeLiteral(Value());
+    }
+    // Star.
+    if (PeekSymbol("*")) {
+      Advance();
+      return Expr::MakeStar();
+    }
+    // Parenthesized expression or scalar subquery.
+    if (PeekSymbol("(")) {
+      Advance();
+      if (PeekKeyword("SELECT")) {
+        auto sub = ParseSelect();
+        if (!sub.ok()) return sub.status();
+        Status s = ExpectSymbol(")");
+        if (!s.ok()) return s;
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kScalarSubquery;
+        e->subquery = std::move(sub).value();
+        return e;
+      }
+      auto inner = ParseExpr();
+      if (!inner.ok()) return inner.status();
+      Status s = ExpectSymbol(")");
+      if (!s.ok()) return s;
+      return std::move(inner).value();
+    }
+    // CAST(expr AS type).
+    if (t.kind == TokenKind::kKeyword && t.text == "CAST") {
+      Advance();
+      Status s = ExpectSymbol("(");
+      if (!s.ok()) return s;
+      auto inner = ParseExpr();
+      if (!inner.ok()) return inner.status();
+      s = ExpectKeyword("AS");
+      if (!s.ok()) return s;
+      DataType type;
+      if (AcceptKeyword("INTEGER")) {
+        type = DataType::kInteger;
+      } else if (AcceptKeyword("REAL")) {
+        type = DataType::kReal;
+      } else if (AcceptKeyword("TEXT")) {
+        type = DataType::kText;
+      } else {
+        return Error("expected type name in CAST");
+      }
+      s = ExpectSymbol(")");
+      if (!s.ok()) return s;
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kCast;
+      e->cast_type = type;
+      e->children.push_back(std::move(inner).value());
+      return e;
+    }
+    // Aggregate keywords used as function names.
+    if (t.kind == TokenKind::kKeyword &&
+        (t.text == "COUNT" || t.text == "SUM" || t.text == "AVG" ||
+         t.text == "MIN" || t.text == "MAX")) {
+      std::string name = Advance().text;
+      return ParseFunctionCall(name);
+    }
+    // Identifier: column ref or scalar function call.
+    if (t.kind == TokenKind::kIdentifier) {
+      std::string first = Advance().text;
+      if (PeekSymbol("(")) {
+        return ParseFunctionCall(ToUpper(first));
+      }
+      if (PeekSymbol(".")) {
+        Advance();
+        if (PeekSymbol("*")) {
+          Advance();
+          // table.* — treated as plain star at execution time.
+          auto e = Expr::MakeStar();
+          e->table = first;
+          return e;
+        }
+        if (Peek().kind != TokenKind::kIdentifier &&
+            Peek().kind != TokenKind::kKeyword) {
+          return Error("expected column name after '.'");
+        }
+        std::string column = Advance().text;
+        return Expr::MakeColumn(first, column);
+      }
+      return Expr::MakeColumn("", first);
+    }
+    return Error("unexpected token '" + t.text + "'");
+  }
+
+  Result<std::unique_ptr<Expr>> ParseFunctionCall(std::string name) {
+    Status s = ExpectSymbol("(");
+    if (!s.ok()) return s;
+    bool distinct = AcceptKeyword("DISTINCT");
+    std::vector<std::unique_ptr<Expr>> args;
+    if (!PeekSymbol(")")) {
+      while (true) {
+        auto arg = ParseExpr();
+        if (!arg.ok()) return arg.status();
+        args.push_back(std::move(arg).value());
+        if (!AcceptSymbol(",")) break;
+      }
+    }
+    s = ExpectSymbol(")");
+    if (!s.ok()) return s;
+    return Expr::MakeFunction(std::move(name), std::move(args), distinct);
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<SelectStatement>> ParseSql(std::string_view sql) {
+  auto tokens = LexSql(sql);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value());
+  return parser.ParseStatement();
+}
+
+}  // namespace codes::sql

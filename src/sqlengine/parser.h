@@ -1,0 +1,24 @@
+#ifndef CODES_SQLENGINE_PARSER_H_
+#define CODES_SQLENGINE_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/status.h"
+#include "sqlengine/ast.h"
+
+namespace codes::sql {
+
+/// Parses a single SELECT statement (optionally chained with set
+/// operations) from SQL text. A trailing semicolon is permitted.
+///
+/// The supported grammar covers the Spider-style query space: SELECT
+/// [DISTINCT] expr-list FROM table [AS alias] (JOIN table [AS alias]
+/// ON cond)* [WHERE cond] [GROUP BY exprs] [HAVING cond]
+/// [ORDER BY expr [ASC|DESC], ...] [LIMIT n]
+/// [UNION|UNION ALL|INTERSECT|EXCEPT select].
+Result<std::unique_ptr<SelectStatement>> ParseSql(std::string_view sql);
+
+}  // namespace codes::sql
+
+#endif  // CODES_SQLENGINE_PARSER_H_

@@ -1,0 +1,84 @@
+#include "sqlengine/result_table.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace codes::sql {
+
+std::string ResultTable::ToString(size_t max_rows) const {
+  std::string out;
+  for (size_t i = 0; i < column_names.size(); ++i) {
+    if (i > 0) out += " | ";
+    out += column_names[i];
+  }
+  out += "\n";
+  size_t shown = std::min(max_rows, rows.size());
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t c = 0; c < rows[r].size(); ++c) {
+      if (c > 0) out += " | ";
+      out += rows[r][c].ToString();
+    }
+    out += "\n";
+  }
+  if (shown < rows.size()) {
+    out += "... (" + std::to_string(rows.size() - shown) + " more rows)\n";
+  }
+  return out;
+}
+
+namespace {
+
+bool ValuesClose(const Value& a, const Value& b) {
+  if (a.is_null() && b.is_null()) return true;
+  if (a.is_null() || b.is_null()) return false;
+  if (a.is_numeric() && b.is_numeric()) {
+    double x = a.ToNumeric();
+    double y = b.ToNumeric();
+    double scale = std::max({std::abs(x), std::abs(y), 1.0});
+    return std::abs(x - y) <= 1e-6 * scale;
+  }
+  if (a.is_text() && b.is_text()) return a.AsText() == b.AsText();
+  return false;
+}
+
+bool RowsClose(const std::vector<Value>& a, const std::vector<Value>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!ValuesClose(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+// Canonical ordering for multiset comparison.
+bool RowLess(const std::vector<Value>& a, const std::vector<Value>& b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    int cmp = a[i].Compare(b[i]);
+    if (cmp != 0) return cmp < 0;
+  }
+  return a.size() < b.size();
+}
+
+}  // namespace
+
+bool ResultsEquivalent(const ResultTable& a, const ResultTable& b,
+                       bool ordered) {
+  if (a.NumColumns() != b.NumColumns()) return false;
+  if (a.NumRows() != b.NumRows()) return false;
+  if (ordered) {
+    for (size_t r = 0; r < a.rows.size(); ++r) {
+      if (!RowsClose(a.rows[r], b.rows[r])) return false;
+    }
+    return true;
+  }
+  auto sa = a.rows;
+  auto sb = b.rows;
+  std::sort(sa.begin(), sa.end(), RowLess);
+  std::sort(sb.begin(), sb.end(), RowLess);
+  for (size_t r = 0; r < sa.size(); ++r) {
+    if (!RowsClose(sa[r], sb[r])) return false;
+  }
+  return true;
+}
+
+}  // namespace codes::sql

@@ -1,0 +1,33 @@
+#ifndef CODES_SQLENGINE_RESULT_TABLE_H_
+#define CODES_SQLENGINE_RESULT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "sqlengine/value.h"
+
+namespace codes::sql {
+
+/// Result of executing a SELECT: column headers plus rows of values.
+struct ResultTable {
+  std::vector<std::string> column_names;
+  std::vector<std::vector<Value>> rows;
+
+  size_t NumRows() const { return rows.size(); }
+  size_t NumColumns() const { return column_names.size(); }
+
+  /// Pretty text rendering for examples and debugging.
+  std::string ToString(size_t max_rows = 20) const;
+};
+
+/// Execution-accuracy comparison of two result tables, as used by the EX
+/// metric: identical column count and, when `ordered` is true, identical
+/// row sequences; otherwise identical row *multisets*. Column names are
+/// ignored (benchmarks do not require matching aliases); numeric values
+/// compare with a small relative tolerance.
+bool ResultsEquivalent(const ResultTable& a, const ResultTable& b,
+                       bool ordered);
+
+}  // namespace codes::sql
+
+#endif  // CODES_SQLENGINE_RESULT_TABLE_H_

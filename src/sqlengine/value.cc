@@ -1,0 +1,128 @@
+#include "sqlengine/value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+
+#include "common/status.h"
+
+namespace codes::sql {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInteger:
+      return "INTEGER";
+    case DataType::kReal:
+      return "REAL";
+    case DataType::kText:
+      return "TEXT";
+  }
+  return "TEXT";
+}
+
+int64_t Value::AsInteger() const {
+  CODES_CHECK(is_integer());
+  return std::get<int64_t>(data_);
+}
+
+double Value::AsReal() const {
+  CODES_CHECK(is_real());
+  return std::get<double>(data_);
+}
+
+const std::string& Value::AsText() const {
+  CODES_CHECK(is_text());
+  return std::get<std::string>(data_);
+}
+
+double Value::ToNumeric() const {
+  if (is_integer()) return static_cast<double>(std::get<int64_t>(data_));
+  if (is_real()) return std::get<double>(data_);
+  if (is_text()) {
+    const std::string& s = std::get<std::string>(data_);
+    char* end = nullptr;
+    double v = std::strtod(s.c_str(), &end);
+    if (end == s.c_str()) return 0.0;
+    return v;
+  }
+  return 0.0;
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_integer()) return std::to_string(std::get<int64_t>(data_));
+  if (is_real()) {
+    double v = std::get<double>(data_);
+    // Integral reals print without a trailing ".0" mess; otherwise use a
+    // compact fixed representation that is stable across platforms.
+    char buf[64];
+    if (std::floor(v) == v && std::abs(v) < 1e15) {
+      std::snprintf(buf, sizeof(buf), "%.1f", v);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.6g", v);
+    }
+    return buf;
+  }
+  return std::get<std::string>(data_);
+}
+
+std::string Value::ToSqlLiteral() const {
+  if (is_text()) {
+    std::string out = "'";
+    for (char c : std::get<std::string>(data_)) {
+      if (c == '\'') out += "''";
+      else out += c;
+    }
+    out += "'";
+    return out;
+  }
+  return ToString();
+}
+
+int Value::Compare(const Value& other) const {
+  auto rank = [](const Value& v) {
+    if (v.is_null()) return 0;
+    if (v.is_numeric()) return 1;
+    return 2;
+  };
+  int ra = rank(*this);
+  int rb = rank(other);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  if (ra == 0) return 0;  // both NULL
+  if (ra == 1) {
+    double a = ToNumeric();
+    double b = other.ToNumeric();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  const std::string& a = AsText();
+  const std::string& b = other.AsText();
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+bool Value::SqlEquals(const Value& other) const {
+  if (is_null() || other.is_null()) return false;
+  if (is_numeric() && other.is_numeric()) {
+    return ToNumeric() == other.ToNumeric();
+  }
+  if (is_text() && other.is_text()) return AsText() == other.AsText();
+  // Mixed text/numeric: compare via numeric coercion, matching SQLite
+  // affinity when a numeric-looking string meets a number.
+  return false;
+}
+
+size_t Value::Hash() const {
+  if (is_null()) return 0x9e3779b9;
+  if (is_numeric()) {
+    double v = ToNumeric();
+    if (v == 0.0) v = 0.0;  // normalize -0.0
+    return std::hash<double>{}(v);
+  }
+  return std::hash<std::string>{}(AsText());
+}
+
+}  // namespace codes::sql

@@ -1,0 +1,78 @@
+#ifndef CODES_SQLENGINE_VALUE_H_
+#define CODES_SQLENGINE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace codes::sql {
+
+/// Column data types supported by the engine. Mirrors the SQLite-style
+/// storage classes the paper's databases use.
+enum class DataType {
+  kInteger,
+  kReal,
+  kText,
+};
+
+/// Returns the SQL spelling of a type ("INTEGER", "REAL", "TEXT").
+const char* DataTypeName(DataType type);
+
+/// A dynamically typed SQL value: NULL, INTEGER, REAL, or TEXT.
+///
+/// Comparison follows SQLite-like affinity rules: numeric values compare
+/// numerically across INTEGER/REAL; NULL never equals anything (but sorts
+/// first and hashes consistently so result multisets can be compared).
+class Value {
+ public:
+  /// NULL value.
+  Value() : data_(std::monostate{}) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(const char* v) : data_(std::string(v)) {}
+
+  static Value Null() { return Value(); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+  bool is_integer() const { return std::holds_alternative<int64_t>(data_); }
+  bool is_real() const { return std::holds_alternative<double>(data_); }
+  bool is_text() const { return std::holds_alternative<std::string>(data_); }
+  bool is_numeric() const { return is_integer() || is_real(); }
+
+  int64_t AsInteger() const;
+  double AsReal() const;
+  const std::string& AsText() const;
+
+  /// Numeric view of the value: integers widen to double; text parses when
+  /// it looks like a number, else 0 (SQLite CAST semantics).
+  double ToNumeric() const;
+
+  /// Text rendering: "NULL", integer/real decimal form, or the raw string.
+  std::string ToString() const;
+
+  /// SQL-literal rendering: strings are single-quoted with '' escaping.
+  std::string ToSqlLiteral() const;
+
+  /// Total ordering used for ORDER BY and result canonicalization:
+  /// NULL < numerics (by value) < text (lexicographic).
+  /// Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  /// SQL equality (numeric coercion across int/real; NULL != NULL here,
+  /// use Compare for canonical ordering which treats NULLs as equal).
+  bool SqlEquals(const Value& other) const;
+
+  /// Structural equality including NULL == NULL; used by tests and result
+  /// multiset comparison.
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+
+  size_t Hash() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+}  // namespace codes::sql
+
+#endif  // CODES_SQLENGINE_VALUE_H_

@@ -1,0 +1,87 @@
+#include "text/pattern.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "text/tokenize.h"
+
+namespace codes {
+
+namespace {
+
+bool IsCapitalizedWord(std::string_view w) {
+  if (w.empty()) return false;
+  if (!std::isupper(static_cast<unsigned char>(w[0]))) return false;
+  for (size_t i = 1; i < w.size(); ++i) {
+    if (!std::isalpha(static_cast<unsigned char>(w[i]))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string ExtractQuestionPattern(std::string_view question) {
+  // Pass 1: blank out quoted spans.
+  std::string text(question);
+  for (char quote : {'\'', '"'}) {
+    size_t pos = 0;
+    while (true) {
+      size_t open = text.find(quote, pos);
+      if (open == std::string::npos) break;
+      size_t close = text.find(quote, open + 1);
+      if (close == std::string::npos) break;
+      text.replace(open, close - open + 1, "_");
+      pos = open + 1;
+    }
+  }
+
+  // Pass 2: token-level stripping of numbers and sentence-medial
+  // capitalized spans.
+  std::vector<std::string> raw;
+  {
+    size_t i = 0;
+    while (i < text.size()) {
+      while (i < text.size() &&
+             std::isspace(static_cast<unsigned char>(text[i])))
+        ++i;
+      size_t start = i;
+      while (i < text.size() &&
+             !std::isspace(static_cast<unsigned char>(text[i])))
+        ++i;
+      if (i > start) raw.push_back(text.substr(start, i - start));
+    }
+  }
+
+  std::vector<std::string> out_tokens;
+  bool prev_was_placeholder = false;
+  for (size_t i = 0; i < raw.size(); ++i) {
+    // Trim trailing punctuation for classification, but keep the core token.
+    std::string core = raw[i];
+    while (!core.empty() &&
+           std::ispunct(static_cast<unsigned char>(core.back())) &&
+           core.back() != '_') {
+      core.pop_back();
+    }
+    bool is_entity = false;
+    if (core == "_") {
+      is_entity = true;
+    } else if (IsNumberToken(core)) {
+      is_entity = true;
+    } else if (i > 0 && IsCapitalizedWord(core) && !IsStopWord(ToLower(core))) {
+      is_entity = true;
+    }
+    if (is_entity) {
+      // Collapse adjacent entity tokens into one placeholder.
+      if (!prev_was_placeholder) out_tokens.emplace_back("_");
+      prev_was_placeholder = true;
+    } else {
+      out_tokens.push_back(ToLower(core));
+      prev_was_placeholder = false;
+    }
+  }
+  return Join(out_tokens, " ");
+}
+
+}  // namespace codes

@@ -1,0 +1,21 @@
+#ifndef CODES_TEXT_PATTERN_H_
+#define CODES_TEXT_PATTERN_H_
+
+#include <string>
+#include <string_view>
+
+namespace codes {
+
+/// Extracts the "question pattern" of a natural-language question by
+/// stripping entities, following Section 8.2 of the paper (which uses nltk
+/// for the same purpose). Entities removed:
+///   * quoted strings ('Jesenik', "Sarah Martinez")
+///   * number literals (1948, 3.5)
+///   * capitalized multi-word spans in sentence-medial position
+/// Removed spans are replaced by the placeholder "_" so sentence shape is
+/// preserved: "singers born in 1948 or 1949" -> "singers born in _ or _".
+std::string ExtractQuestionPattern(std::string_view question);
+
+}  // namespace codes
+
+#endif  // CODES_TEXT_PATTERN_H_

@@ -1,0 +1,41 @@
+#ifndef CODES_TEXT_SIMILARITY_H_
+#define CODES_TEXT_SIMILARITY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace codes {
+
+/// Length of the longest common substring of `a` and `b` (case-insensitive).
+/// This is the fine-grained matcher of the paper's coarse-to-fine value
+/// retriever (Section 6.2); complexity O(|a|*|b|).
+int LongestCommonSubstringLength(std::string_view a, std::string_view b);
+
+/// Longest common substring normalized by the length of the shorter string,
+/// in [0,1]. Returns 0 when either string is empty.
+double LcsMatchDegree(std::string_view a, std::string_view b);
+
+/// Length of the longest common subsequence (order-preserving, with gaps).
+int LongestCommonSubsequenceLength(std::string_view a, std::string_view b);
+
+/// Levenshtein edit distance between `a` and `b` (case-sensitive).
+int EditDistance(std::string_view a, std::string_view b);
+
+/// Jaccard similarity of the two token sets.
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b);
+
+/// Fraction of tokens in `needle` that occur in `haystack` (stemmed match).
+double TokenCoverage(const std::vector<std::string>& needle,
+                     const std::vector<std::string>& haystack);
+
+/// True when `identifier` (e.g. "npgr") is the initials of some window of
+/// consecutive content tokens ("net profit growth rate"). How humans — and
+/// code LLMs — guess abbreviated column names.
+bool InitialsMatch(const std::string& identifier,
+                   const std::vector<std::string>& tokens);
+
+}  // namespace codes
+
+#endif  // CODES_TEXT_SIMILARITY_H_

@@ -1,0 +1,148 @@
+#include "text/tokenize.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace codes {
+
+namespace {
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+std::vector<std::string> WordTokens(std::string_view text) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && !IsWordChar(text[i])) ++i;
+    size_t start = i;
+    while (i < text.size() && IsWordChar(text[i])) ++i;
+    if (i > start) {
+      std::string token = ToLower(text.substr(start, i - start));
+      // A bare "_" is a mask/slot placeholder (see text/pattern.h) and is
+      // kept verbatim so embeddings see the slot.
+      if (token.find_first_not_of('_') == std::string::npos) {
+        out.emplace_back("_");
+        continue;
+      }
+      // Split identifier-style tokens on '_' so "stu_id" matches "stu id".
+      size_t pos = 0;
+      while (pos < token.size()) {
+        size_t us = token.find('_', pos);
+        if (us == std::string::npos) {
+          if (pos < token.size()) out.push_back(token.substr(pos));
+          break;
+        }
+        if (us > pos) out.push_back(token.substr(pos, us - pos));
+        pos = us + 1;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> CodeTokens(std::string_view text) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (IsWordChar(c)) {
+      size_t start = i;
+      while (i < text.size() && IsWordChar(text[i])) ++i;
+      out.push_back(ToLower(text.substr(start, i - start)));
+      continue;
+    }
+    // Two-character operators first.
+    if (i + 1 < text.size()) {
+      std::string_view two = text.substr(i, 2);
+      if (two == "<=" || two == ">=" || two == "!=" || two == "<>" ||
+          two == "||") {
+        out.emplace_back(two);
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(std::string(1, c));
+    ++i;
+  }
+  return out;
+}
+
+std::vector<std::string> CharNgrams(std::string_view text, int n) {
+  std::vector<std::string> out;
+  std::string lower = ToLower(text);
+  if (static_cast<int>(lower.size()) < n) return out;
+  for (size_t i = 0; i + n <= lower.size(); ++i) {
+    out.push_back(lower.substr(i, n));
+  }
+  return out;
+}
+
+bool IsNumberToken(std::string_view token) {
+  if (token.empty()) return false;
+  bool seen_digit = false;
+  bool seen_dot = false;
+  size_t start = (token[0] == '-' || token[0] == '+') ? 1 : 0;
+  if (start == token.size()) return false;
+  for (size_t i = start; i < token.size(); ++i) {
+    char c = token[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      seen_digit = true;
+    } else if (c == '.' && !seen_dot) {
+      seen_dot = true;
+    } else {
+      return false;
+    }
+  }
+  return seen_digit;
+}
+
+bool IsStopWord(std::string_view token) {
+  static const std::unordered_set<std::string>* const kStopWords =
+      new std::unordered_set<std::string>{
+          "the", "a",    "an",   "of",   "in",   "on",    "for", "to",
+          "and", "or",   "is",   "are",  "was",  "were",  "be",  "by",
+          "at",  "as",   "that", "this", "with", "from",  "all", "each",
+          "me",  "show", "list", "what", "which", "who",  "how", "many",
+          "much", "do",  "does", "did",  "have", "has",   "it",  "its",
+          "their", "there", "than", "then", "also", "please", "give",
+          "find", "return", "tell", "i", "we", "you", "they", "them"};
+  return kStopWords->count(std::string(token)) > 0;
+}
+
+std::string StemToken(std::string_view token) {
+  std::string t(token);
+  auto strip = [&t](std::string_view suffix) {
+    if (t.size() > suffix.size() + 2 && EndsWith(t, suffix)) {
+      t.resize(t.size() - suffix.size());
+      return true;
+    }
+    return false;
+  };
+  if (strip("ies")) {
+    t += 'y';
+    return t;
+  }
+  if (strip("sses")) {
+    t += "ss";
+    return t;
+  }
+  if (strip("ing")) return t;
+  if (strip("ed")) return t;
+  if (t.size() > 3 && EndsWith(t, "s") && !EndsWith(t, "ss") &&
+      !EndsWith(t, "us")) {
+    t.pop_back();
+  }
+  return t;
+}
+
+}  // namespace codes

@@ -1,0 +1,36 @@
+#ifndef CODES_TEXT_TOKENIZE_H_
+#define CODES_TEXT_TOKENIZE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace codes {
+
+/// Splits `text` into lowercase word tokens: maximal runs of alphanumeric
+/// characters (plus '_' inside identifiers). Punctuation is dropped.
+/// "List the singer's name, age" -> {"list","the","singer","s","name","age"}.
+std::vector<std::string> WordTokens(std::string_view text);
+
+/// Like WordTokens but keeps punctuation marks as single-character tokens.
+/// Used by the language model, where operators like '=' and ',' carry
+/// distributional signal.
+std::vector<std::string> CodeTokens(std::string_view text);
+
+/// Extracts character n-grams of length `n` from `text` (lowercased).
+/// Returns an empty vector when text is shorter than n.
+std::vector<std::string> CharNgrams(std::string_view text, int n);
+
+/// True if the token is a number literal (integer or decimal).
+bool IsNumberToken(std::string_view token);
+
+/// English "stop words" ignored by retrieval scoring.
+bool IsStopWord(std::string_view token);
+
+/// Crude suffix-stripping stemmer (plural/-ing/-ed) so that "singers"
+/// matches "singer". Operates on a lowercase token.
+std::string StemToken(std::string_view token);
+
+}  // namespace codes
+
+#endif  // CODES_TEXT_TOKENIZE_H_

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "augment/augmentation.h"
+#include "dataset/domains.h"
+#include "dataset/templates.h"
+#include "sqlengine/executor.h"
+
+namespace codes {
+namespace {
+
+class AugmentTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    AugmentOptions options;
+    options.seed_pairs = 12;
+    options.question_to_sql_pairs = 40;
+    options.sql_to_question_pairs = 40;
+    dataset_ = new NewDomainDataset(
+        BuildNewDomainDataset(BankFinancialsDomain(), 25, options));
+  }
+  static void TearDownTestSuite() { delete dataset_; }
+  static NewDomainDataset* dataset_;
+};
+NewDomainDataset* AugmentTest::dataset_ = nullptr;
+
+TEST_F(AugmentTest, BuildsRequestedSizes) {
+  EXPECT_EQ(dataset_->seeds.size(), 12u);
+  EXPECT_EQ(dataset_->bench.dev.size(), 25u);
+  EXPECT_EQ(dataset_->bench.train.size(), 80u);
+  ASSERT_EQ(dataset_->bench.databases.size(), 1u);
+}
+
+TEST_F(AugmentTest, AllSqlExecutes) {
+  const auto& db = dataset_->bench.databases[0];
+  for (const auto& s : dataset_->bench.train) {
+    EXPECT_TRUE(sql::IsExecutable(db, s.sql)) << s.sql;
+  }
+  for (const auto& s : dataset_->bench.dev) {
+    EXPECT_TRUE(sql::IsExecutable(db, s.sql)) << s.sql;
+  }
+}
+
+TEST_F(AugmentTest, QuestionToSqlFollowsSeedIntents) {
+  const auto& db = dataset_->bench.databases[0];
+  const auto& lib = GlobalTemplates();
+  std::set<int> seed_templates;
+  for (const auto& seed : dataset_->seeds) {
+    seed_templates.insert(lib.IdentifyTemplate(seed.sql));
+  }
+  Rng rng(3);
+  auto expanded = AugmentQuestionToSql(db, dataset_->seeds, 30, rng);
+  ASSERT_FALSE(expanded.empty());
+  for (const auto& s : expanded) {
+    EXPECT_TRUE(seed_templates.count(lib.IdentifyTemplate(s.sql)))
+        << s.sql;
+  }
+}
+
+TEST_F(AugmentTest, SqlToQuestionCoversManyTemplates) {
+  const auto& db = dataset_->bench.databases[0];
+  const auto& lib = GlobalTemplates();
+  Rng rng(4);
+  auto generated = AugmentSqlToQuestion(db, 120, rng);
+  std::set<int> templates;
+  for (const auto& s : generated) {
+    templates.insert(lib.IdentifyTemplate(s.sql));
+  }
+  // The SQL-to-question direction is about breadth: far more template
+  // coverage than the handful of seed intents.
+  EXPECT_GT(templates.size(), 20u);
+}
+
+TEST_F(AugmentTest, ParaphraserChangesSurfaceNotValues) {
+  Rng rng(5);
+  std::string q = "Show the name of the client whose city is 'Jesenik'.";
+  bool changed = false;
+  for (int i = 0; i < 20; ++i) {
+    std::string p = ParaphraseQuestion(q, rng);
+    EXPECT_NE(p.find("'Jesenik'"), std::string::npos) << p;
+    if (p != q) changed = true;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST_F(AugmentTest, NewDomainUsesSpecialDomainsOnly) {
+  // The Bank-Financials domain must not be in the general catalog (no
+  // benchmark ever trains on it by accident).
+  for (const auto& domain : AllDomains()) {
+    EXPECT_NE(domain.name, BankFinancialsDomain().name);
+    EXPECT_NE(domain.name, AminerSimplifiedDomain().name);
+  }
+}
+
+TEST_F(AugmentTest, BankFinancialsHasWideAbbreviatedReportTable) {
+  const auto& db = dataset_->bench.databases[0];
+  auto t = db.schema().FindTable("financial_report");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_GT(db.schema().tables[*t].columns.size(), 15u);
+  // Abbreviated metric columns carry their meaning as comments.
+  auto roe = db.schema().tables[*t].FindColumn("roe");
+  ASSERT_TRUE(roe.has_value());
+  EXPECT_EQ(db.schema().tables[*t].columns[*roe].comment,
+            "return on equity");
+}
+
+}  // namespace
+}  // namespace codes

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "embed/sentence_encoder.h"
+#include "index/bm25_index.h"
+
+namespace codes {
+namespace {
+
+// ------------------------------------------------------------------ embed
+
+TEST(SentenceEncoderTest, VectorsAreNormalized) {
+  SentenceEncoder encoder(128);
+  auto v = encoder.Encode("show the names of all singers");
+  double norm = 0;
+  for (float x : v) norm += static_cast<double>(x) * x;
+  EXPECT_NEAR(norm, 1.0, 1e-5);
+  EXPECT_EQ(v.size(), 128u);
+}
+
+TEST(SentenceEncoderTest, EmptyTextEncodesToZero) {
+  SentenceEncoder encoder(64);
+  auto v = encoder.Encode("");
+  for (float x : v) EXPECT_EQ(x, 0.0f);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(v, v), 0.0);
+}
+
+TEST(SentenceEncoderTest, IdenticalTextsHaveSimilarityOne) {
+  SentenceEncoder encoder(256);
+  auto a = encoder.Encode("how many concerts are there");
+  auto b = encoder.Encode("how many concerts are there");
+  EXPECT_NEAR(CosineSimilarity(a, b), 1.0, 1e-6);
+}
+
+TEST(SentenceEncoderTest, SimilarBeatsDissimilar) {
+  SentenceEncoder encoder(256);
+  auto query = encoder.Encode("how many singers are there");
+  auto similar = encoder.Encode("how many concerts are there");
+  auto dissimilar = encoder.Encode("return the lowest salary of employees");
+  EXPECT_GT(CosineSimilarity(query, similar),
+            CosineSimilarity(query, dissimilar));
+}
+
+TEST(SentenceEncoderTest, StemmingUnifiesInflections) {
+  SentenceEncoder encoder(256);
+  auto a = encoder.Encode("singer");
+  auto b = encoder.Encode("singers");
+  EXPECT_GT(CosineSimilarity(a, b), 0.9);
+}
+
+TEST(SentenceEncoderTest, WordOrderMattersViaBigrams) {
+  SentenceEncoder encoder(256);
+  auto ab = encoder.Encode("order by salary descending please kindly");
+  auto ba = encoder.Encode("salary by order descending kindly please");
+  // Same unigrams, different bigrams: similar but not identical.
+  double sim = CosineSimilarity(ab, ba);
+  EXPECT_GT(sim, 0.5);
+  EXPECT_LT(sim, 0.999);
+}
+
+TEST(SentenceEncoderTest, IdfDownweightsFrequentWords) {
+  SentenceEncoder encoder(256);
+  std::vector<std::string> corpus;
+  for (int i = 0; i < 50; ++i) corpus.push_back("show the data now");
+  corpus.push_back("zebra");
+  encoder.FitIdf(corpus);
+  // "zebra" is rare -> a sentence pair sharing only "zebra" should be more
+  // similar than a pair sharing only the ubiquitous "show".
+  double rare = CosineSimilarity(encoder.Encode("zebra count"),
+                                 encoder.Encode("zebra total"));
+  double freq = CosineSimilarity(encoder.Encode("show count"),
+                                 encoder.Encode("show total"));
+  EXPECT_GT(rare, freq);
+}
+
+TEST(SentenceEncoderTest, MaskTokensOnlyAffectBigrams) {
+  SentenceEncoder encoder(256);
+  // "_" carries no unigram signal: a sentence of only masks is zero.
+  auto only_masks = encoder.Encode("_ _ _");
+  double norm = 0;
+  for (float x : only_masks) norm += static_cast<double>(x) * x;
+  EXPECT_GT(norm, 0.0);  // bigram features survive
+}
+
+TEST(CosineSimilarityTest, Orthogonal) {
+  std::vector<float> a{1, 0};
+  std::vector<float> b{0, 1};
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, b), 0.0);
+}
+
+// ------------------------------------------------------------------ BM25
+
+TEST(Bm25Test, FindsExactValue) {
+  Bm25Index index;
+  index.AddDocument("Jesenik");
+  index.AddDocument("Prague");
+  index.AddDocument("Sarah Martinez");
+  index.Finalize();
+  auto hits = index.Query(
+      "How many clients opened their accounts in Jesenik branch", 10);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(index.DocumentText(hits[0].doc_id), "Jesenik");
+}
+
+TEST(Bm25Test, RanksBetterMatchesHigher) {
+  Bm25Index index;
+  int good = index.AddDocument("road overtime losses");
+  index.AddDocument("home wins");
+  index.Finalize();
+  auto hits = index.Query("how many road overtime losses were there", 2);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].doc_id, good);
+}
+
+TEST(Bm25Test, TopKLimitsResults) {
+  Bm25Index index;
+  for (int i = 0; i < 20; ++i) {
+    index.AddDocument("city number " + std::to_string(i));
+  }
+  index.Finalize();
+  auto hits = index.Query("city", 5);
+  EXPECT_EQ(hits.size(), 5u);
+}
+
+TEST(Bm25Test, NoMatchNoHits) {
+  Bm25Index index;
+  index.AddDocument("alpha");
+  index.Finalize();
+  EXPECT_TRUE(index.Query("zzzzqqq", 5).empty());
+}
+
+TEST(Bm25Test, CharTrigramsEnablePartialMatch) {
+  Bm25Index index;
+  int target = index.AddDocument("Martinez");
+  index.AddDocument("Johnson");
+  index.Finalize();
+  // "Martine" shares trigrams with "Martinez" even without a full token.
+  auto hits = index.Query("who is Martine", 2);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].doc_id, target);
+}
+
+TEST(Bm25Test, DeterministicOrderOnTies) {
+  Bm25Index index;
+  index.AddDocument("red apple");
+  index.AddDocument("red apple");
+  index.Finalize();
+  auto hits = index.Query("red apple", 2);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_LT(hits[0].doc_id, hits[1].doc_id);
+}
+
+}  // namespace
+}  // namespace codes

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "corpus/pretrain_corpus.h"
+#include "lm/ngram_lm.h"
+
+namespace codes {
+namespace {
+
+TEST(NgramLmTest, TrainsAndScores) {
+  NgramLm lm(3);
+  lm.Train({"SELECT name FROM singer", "SELECT age FROM singer"});
+  EXPECT_GT(lm.VocabSize(), 0u);
+  EXPECT_GT(lm.TokensTrained(), 0u);
+  double in_domain = lm.AvgLogProb("SELECT name FROM singer");
+  double out_domain = lm.AvgLogProb("zebra quux flibber");
+  EXPECT_GT(in_domain, out_domain);
+}
+
+TEST(NgramLmTest, PerplexityDropsWithTraining) {
+  std::vector<std::string> sql = BuildSqlEvalSet(50, 3);
+  NgramLm untrained(3);
+  untrained.Train({"int main() { return 0; }"});
+  NgramLm trained(3);
+  trained.Train(sql);
+  std::vector<std::string> held_out = BuildSqlEvalSet(20, 77);
+  EXPECT_LT(trained.Perplexity(held_out), untrained.Perplexity(held_out));
+}
+
+TEST(NgramLmTest, IncrementalTrainingShiftsDistribution) {
+  auto base_corpus = BuildBaseCodeCorpus(400, 5);
+  auto sql_corpus = BuildSqlEvalSet(200, 6);
+  auto held_out = BuildSqlEvalSet(50, 7);
+
+  NgramLm base(3);
+  base.Train(base_corpus);
+  double before = base.Perplexity(held_out);
+
+  NgramLm continued(base);  // start from the base counts
+  continued.Train(sql_corpus, /*epochs=*/2);
+  double after = continued.Perplexity(held_out);
+  // The Section 5 effect: incremental pre-training on SQL-heavy data
+  // reduces SQL perplexity substantially.
+  EXPECT_LT(after, before * 0.7);
+}
+
+TEST(NgramLmTest, EpochsMultiplyCounts) {
+  NgramLm one(2);
+  one.Train({"a b c"}, 1);
+  NgramLm three(2);
+  three.Train({"a b c"}, 3);
+  EXPECT_EQ(three.TokensTrained(), 3 * one.TokensTrained());
+}
+
+TEST(NgramLmTest, EmptyTextScoresZero) {
+  NgramLm lm(3);
+  lm.Train({"a b"});
+  EXPECT_DOUBLE_EQ(lm.AvgLogProb(""), 0.0);
+}
+
+TEST(NgramLmTest, HigherOrderHelpsOnRepetitiveData) {
+  std::vector<std::string> docs;
+  for (int i = 0; i < 30; ++i) docs.push_back("SELECT a FROM t WHERE b = 1");
+  NgramLm bigram(2);
+  bigram.Train(docs);
+  NgramLm five(5);
+  five.Train(docs);
+  EXPECT_LE(five.Perplexity(docs), bigram.Perplexity(docs));
+}
+
+TEST(CorpusTest, SlicesKeepPaperRatio) {
+  CorpusSlices slices = BuildPretrainCorpus(1, 9);
+  // 11 : 4.5 : 6 GB in the paper -> 1100 : 450 : 600 documents per scale.
+  EXPECT_EQ(slices.sql_related.size(), 1100u);
+  EXPECT_EQ(slices.nl_related.size(), 450u);
+  EXPECT_EQ(slices.nl_to_code.size(), 600u);
+}
+
+TEST(CorpusTest, SqlSliceIsSql) {
+  CorpusSlices slices = BuildPretrainCorpus(1, 9);
+  int select_count = 0;
+  for (size_t i = 0; i < 50; ++i) {
+    if (slices.sql_related[i].find("SELECT") != std::string::npos) {
+      ++select_count;
+    }
+  }
+  EXPECT_GE(select_count, 48);
+}
+
+TEST(CorpusTest, BaseCorpusIsMostlyNotSql) {
+  auto docs = BuildBaseCodeCorpus(500, 11);
+  int sql_docs = 0;
+  for (const auto& doc : docs) {
+    if (doc.find("SELECT") == 0) ++sql_docs;
+  }
+  // ~8% of the base mixture is SQL.
+  EXPECT_LT(sql_docs, 100);
+  EXPECT_GT(sql_docs, 5);
+}
+
+TEST(CorpusTest, Deterministic) {
+  auto a = BuildBaseCodeCorpus(50, 123);
+  auto b = BuildBaseCodeCorpus(50, 123);
+  EXPECT_EQ(a, b);
+  auto c = BuildBaseCodeCorpus(50, 124);
+  EXPECT_NE(a, c);
+}
+
+TEST(CorpusTest, NlToCodeContainsPairedComments) {
+  CorpusSlices slices = BuildPretrainCorpus(1, 9);
+  int paired = 0;
+  for (size_t i = 0; i < 40; ++i) {
+    const auto& doc = slices.nl_to_code[i];
+    if (doc.rfind("--", 0) == 0 || doc.rfind("#", 0) == 0) ++paired;
+  }
+  EXPECT_EQ(paired, 40);
+}
+
+}  // namespace
+}  // namespace codes

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "dataset/benchmark_builder.h"
+#include "common/string_util.h"
+#include "dataset/perturb.h"
+#include "sqlengine/executor.h"
+
+namespace codes {
+namespace {
+
+class PerturbTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    spider_ = new Text2SqlBenchmark(BuildTinySpiderLike(42));
+  }
+  static void TearDownTestSuite() {
+    delete spider_;
+    spider_ = nullptr;
+  }
+  static const Text2SqlBenchmark* spider_;
+};
+const Text2SqlBenchmark* PerturbTest::spider_ = nullptr;
+
+TEST_F(PerturbTest, ReplaceWordOutsideQuotes) {
+  EXPECT_EQ(ReplaceWordOutsideQuotes("the singer sang", "singer", "vocalist"),
+            "the vocalist sang");
+  // Values inside quotes are untouched.
+  EXPECT_EQ(ReplaceWordOutsideQuotes("name is 'singer'", "singer", "x"),
+            "name is 'singer'");
+  // Whole-word only.
+  EXPECT_EQ(ReplaceWordOutsideQuotes("singers", "singer", "x"), "singers");
+}
+
+TEST_F(PerturbTest, VowelStripAbbreviate) {
+  EXPECT_EQ(VowelStripAbbreviate("fleet"), "flt");
+  EXPECT_EQ(VowelStripAbbreviate("size"), "sz");
+  EXPECT_EQ(VowelStripAbbreviate("age"), "age");  // short words unchanged
+}
+
+TEST_F(PerturbTest, ExpandWithSynonymsIsBidirectional) {
+  auto a = ExpandWithSynonyms({"vocalist"});
+  EXPECT_NE(std::find(a.begin(), a.end(), "singer"), a.end());
+  auto b = ExpandWithSynonyms({"singer"});
+  EXPECT_NE(std::find(b.begin(), b.end(), "vocalist"), b.end());
+}
+
+TEST_F(PerturbTest, SynVariantChangesQuestionsNotSql) {
+  auto syn = BuildSpiderSyn(*spider_, 1);
+  ASSERT_EQ(syn.dev.size(), spider_->dev.size());
+  int changed = 0;
+  for (size_t i = 0; i < syn.dev.size(); ++i) {
+    EXPECT_EQ(syn.dev[i].sql, spider_->dev[i].sql);
+    if (syn.dev[i].question != spider_->dev[i].question) ++changed;
+  }
+  EXPECT_GT(changed, 0);
+}
+
+TEST_F(PerturbTest, RealisticKeepsGoldExecutable) {
+  auto realistic = BuildSpiderRealistic(*spider_, 2);
+  for (const auto& s : realistic.dev) {
+    EXPECT_TRUE(sql::IsExecutable(realistic.DbOf(s), s.sql));
+  }
+}
+
+TEST_F(PerturbTest, DrSpiderHasSeventeenSets) {
+  auto suite = BuildDrSpiderSuite(*spider_, 3);
+  EXPECT_EQ(suite.size(), 17u);
+  int db = 0, nlq = 0, sql_side = 0;
+  for (const auto& set : suite) {
+    if (set.category == "DB") ++db;
+    if (set.category == "NLQ") ++nlq;
+    if (set.category == "SQL") ++sql_side;
+  }
+  EXPECT_EQ(db, 3);
+  EXPECT_EQ(nlq, 9);
+  EXPECT_EQ(sql_side, 5);
+}
+
+TEST_F(PerturbTest, SchemaPerturbationsKeepGoldExecutable) {
+  auto suite = BuildDrSpiderSuite(*spider_, 4);
+  for (const auto& set : suite) {
+    if (set.category != "DB") continue;
+    for (const auto& s : set.bench.dev) {
+      EXPECT_TRUE(sql::IsExecutable(set.bench.DbOf(s), s.sql))
+          << set.name << ": " << s.sql;
+    }
+  }
+}
+
+TEST_F(PerturbTest, SchemaSynonymRenamesIdentifiers) {
+  auto suite = BuildDrSpiderSuite(*spider_, 5);
+  const auto& renamed = suite[0];  // schema-synonym
+  ASSERT_EQ(renamed.name, "schema-synonym");
+  // Questions are unchanged; at least one gold SQL now differs from the
+  // original (identifiers renamed).
+  int diff = 0;
+  for (size_t i = 0; i < renamed.bench.dev.size(); ++i) {
+    EXPECT_EQ(renamed.bench.dev[i].question, spider_->dev[i].question);
+    if (renamed.bench.dev[i].sql != spider_->dev[i].sql) ++diff;
+  }
+  EXPECT_GT(diff, 0);
+}
+
+TEST_F(PerturbTest, ContentEquivalenceUppercasesValuesConsistently) {
+  auto suite = BuildDrSpiderSuite(*spider_, 6);
+  const auto& content = suite[2];  // DBcontent-equivalence
+  ASSERT_EQ(content.name, "DBcontent-equivalence");
+  for (const auto& s : content.bench.dev) {
+    EXPECT_TRUE(sql::IsExecutable(content.bench.DbOf(s), s.sql)) << s.sql;
+  }
+  // Stored text is uppercased.
+  const auto& db = content.bench.databases[0];
+  bool found_text = false;
+  db.ForEachTextValue([&found_text](int, int, int, const std::string& text) {
+    found_text = true;
+    EXPECT_EQ(text, codes::ToUpper(text));
+  });
+  EXPECT_TRUE(found_text);
+}
+
+TEST_F(PerturbTest, SqlSideSetsFilterByShape) {
+  auto suite = BuildDrSpiderSuite(*spider_, 7);
+  for (const auto& set : suite) {
+    if (set.name == std::string("sort-order")) {
+      for (const auto& s : set.bench.dev) {
+        EXPECT_NE(codes::ToUpper(s.sql).find("ORDER BY"), std::string::npos);
+      }
+    }
+    if (set.name == std::string("nonDB-number")) {
+      for (const auto& s : set.bench.dev) {
+        EXPECT_NE(codes::ToUpper(s.sql).find("LIMIT"), std::string::npos);
+      }
+    }
+  }
+}
+
+TEST_F(PerturbTest, KeywordCarrierWrapsQuestions) {
+  auto suite = BuildDrSpiderSuite(*spider_, 8);
+  for (const auto& set : suite) {
+    if (set.name != std::string("keyword-carrier")) continue;
+    for (const auto& s : set.bench.dev) {
+      EXPECT_EQ(s.question.rfind("Could you tell me ", 0), 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace codes

@@ -1,0 +1,508 @@
+#include <gtest/gtest.h>
+
+#include "sqlengine/ast.h"
+#include "sqlengine/catalog.h"
+#include "sqlengine/database.h"
+#include "sqlengine/executor.h"
+#include "sqlengine/lexer.h"
+#include "sqlengine/parser.h"
+#include "sqlengine/result_table.h"
+#include "sqlengine/value.h"
+
+namespace codes::sql {
+namespace {
+
+// ----------------------------------------------------------------- fixture
+
+/// Builds a small two-table database:
+///   singer(singer_id PK, name, age, country)
+///   song(song_id PK, title, singer_id FK, sales)
+Database MakeMusicDb() {
+  DatabaseSchema schema;
+  schema.name = "music";
+  TableDef singer;
+  singer.name = "singer";
+  singer.columns = {
+      {"singer_id", DataType::kInteger, "unique singer id", true},
+      {"name", DataType::kText, "singer name", false},
+      {"age", DataType::kInteger, "age in years", false},
+      {"country", DataType::kText, "country of origin", false},
+  };
+  TableDef song;
+  song.name = "song";
+  song.columns = {
+      {"song_id", DataType::kInteger, "unique song id", true},
+      {"title", DataType::kText, "song title", false},
+      {"singer_id", DataType::kInteger, "performer", false},
+      {"sales", DataType::kReal, "copies sold", false},
+  };
+  schema.tables = {singer, song};
+  schema.foreign_keys = {{"song", "singer_id", "singer", "singer_id"}};
+
+  Database db(std::move(schema));
+  auto ins = [&db](const std::string& t, std::vector<Value> row) {
+    ASSERT_TRUE(db.Insert(t, std::move(row)).ok());
+  };
+  ins("singer", {Value(int64_t{1}), Value("Alice"), Value(int64_t{30}),
+                 Value("USA")});
+  ins("singer", {Value(int64_t{2}), Value("Bob"), Value(int64_t{45}),
+                 Value("Canada")});
+  ins("singer", {Value(int64_t{3}), Value("Carol"), Value(int64_t{30}),
+                 Value("USA")});
+  ins("singer", {Value(int64_t{4}), Value("Dave"), Value(), Value("France")});
+  ins("song", {Value(int64_t{10}), Value("Sunrise"), Value(int64_t{1}),
+               Value(100.0)});
+  ins("song", {Value(int64_t{11}), Value("Moonlight"), Value(int64_t{1}),
+               Value(250.5)});
+  ins("song", {Value(int64_t{12}), Value("Harbor"), Value(int64_t{2}),
+               Value(75.0)});
+  ins("song", {Value(int64_t{13}), Value("Echoes"), Value(int64_t{3}),
+               Value()});
+  return db;
+}
+
+ResultTable MustExecute(const Database& db, const std::string& sql) {
+  auto result = ExecuteSql(db, sql);
+  EXPECT_TRUE(result.ok()) << sql << " -> " << result.status().ToString();
+  if (!result.ok()) return ResultTable{};
+  return std::move(result).value();
+}
+
+// ------------------------------------------------------------------- value
+
+TEST(ValueTest, NullOrderingAndEquality) {
+  Value null;
+  Value one(int64_t{1});
+  EXPECT_TRUE(null.is_null());
+  EXPECT_LT(null.Compare(one), 0);
+  EXPECT_EQ(null.Compare(Value()), 0);
+  EXPECT_FALSE(null.SqlEquals(null));  // SQL NULL != NULL
+}
+
+TEST(ValueTest, NumericCoercionAcrossIntAndReal) {
+  EXPECT_TRUE(Value(int64_t{2}).SqlEquals(Value(2.0)));
+  EXPECT_EQ(Value(int64_t{2}).Compare(Value(2.0)), 0);
+  EXPECT_LT(Value(1.5).Compare(Value(int64_t{2})), 0);
+}
+
+TEST(ValueTest, TextComparison) {
+  EXPECT_LT(Value("apple").Compare(Value("banana")), 0);
+  EXPECT_TRUE(Value("x").SqlEquals(Value("x")));
+  // Numerics sort before text in canonical order.
+  EXPECT_LT(Value(int64_t{5}).Compare(Value("5")), 0);
+}
+
+TEST(ValueTest, SqlLiteralEscaping) {
+  EXPECT_EQ(Value("O'Hara").ToSqlLiteral(), "'O''Hara'");
+  EXPECT_EQ(Value(int64_t{7}).ToSqlLiteral(), "7");
+  EXPECT_EQ(Value().ToSqlLiteral(), "NULL");
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(int64_t{2}).Hash(), Value(2.0).Hash());
+}
+
+// ------------------------------------------------------------------ lexer
+
+TEST(LexerTest, TokenizesBasicQuery) {
+  auto tokens = LexSql("SELECT name FROM singer WHERE age >= 30");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 9u);  // 8 tokens + end
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kKeyword);
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[5].text, "age");
+  EXPECT_EQ((*tokens)[6].text, ">=");
+}
+
+TEST(LexerTest, StringEscapes) {
+  auto tokens = LexSql("'O''Hara'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[0].text, "O'Hara");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  auto tokens = LexSql("SELECT 'abc");
+  EXPECT_FALSE(tokens.ok());
+  EXPECT_EQ(tokens.status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, NumbersAndQuotedIdentifiers) {
+  auto tokens = LexSql("\"weird name\" 3.25 42");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ((*tokens)[0].text, "weird name");
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kReal);
+  EXPECT_DOUBLE_EQ((*tokens)[1].real_value, 3.25);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kInteger);
+  EXPECT_EQ((*tokens)[2].int_value, 42);
+}
+
+// ------------------------------------------------------------------ parser
+
+TEST(ParserTest, RoundTripsSimpleQuery) {
+  auto stmt = ParseSql("SELECT name FROM singer WHERE age > 30");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ((*stmt)->ToSql(), "SELECT name FROM singer WHERE age > 30");
+}
+
+TEST(ParserTest, ParsesJoinGroupOrderLimit) {
+  const std::string sql =
+      "SELECT T1.name, COUNT(*) FROM singer AS T1 JOIN song AS T2 "
+      "ON T1.singer_id = T2.singer_id GROUP BY T1.name "
+      "HAVING COUNT(*) >= 2 ORDER BY COUNT(*) DESC LIMIT 1";
+  auto stmt = ParseSql(sql);
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ((*stmt)->joins.size(), 1u);
+  EXPECT_EQ((*stmt)->group_by.size(), 1u);
+  ASSERT_TRUE((*stmt)->having != nullptr);
+  EXPECT_EQ((*stmt)->order_by.size(), 1u);
+  EXPECT_FALSE((*stmt)->order_by[0].ascending);
+  EXPECT_EQ((*stmt)->limit, 1);
+}
+
+TEST(ParserTest, ParsesSetOps) {
+  auto stmt = ParseSql(
+      "SELECT name FROM singer UNION SELECT title FROM song");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->set_op, SetOp::kUnion);
+  ASSERT_TRUE((*stmt)->set_rhs != nullptr);
+}
+
+TEST(ParserTest, ParsesInSubquery) {
+  auto stmt = ParseSql(
+      "SELECT name FROM singer WHERE singer_id IN "
+      "(SELECT singer_id FROM song)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_TRUE((*stmt)->where != nullptr);
+  EXPECT_EQ((*stmt)->where->kind, ExprKind::kInSubquery);
+}
+
+TEST(ParserTest, ParsesBetweenNotLikeIsNull) {
+  auto stmt = ParseSql(
+      "SELECT name FROM singer WHERE age BETWEEN 20 AND 40 "
+      "AND name NOT LIKE 'A%' AND country IS NOT NULL");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto stmt = ParseSql("SELECT 1 + 2 * 3 FROM singer");
+  ASSERT_TRUE(stmt.ok());
+  const Expr& e = *(*stmt)->select_list[0].expr;
+  ASSERT_EQ(e.kind, ExprKind::kBinary);
+  EXPECT_EQ(e.binary_op, BinaryOp::kAdd);  // * binds tighter
+}
+
+TEST(ParserTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseSql("SELECT FROM").ok());
+  EXPECT_FALSE(ParseSql("SELEKT x FROM t").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM t WHERE").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM t extra junk").ok());
+}
+
+TEST(ParserTest, CloneProducesEqualSql) {
+  auto stmt = ParseSql(
+      "SELECT DISTINCT T1.name FROM singer AS T1 JOIN song AS T2 ON "
+      "T1.singer_id = T2.singer_id WHERE T2.sales > 50 ORDER BY T1.name ASC");
+  ASSERT_TRUE(stmt.ok());
+  auto clone = (*stmt)->Clone();
+  EXPECT_EQ(clone->ToSql(), (*stmt)->ToSql());
+}
+
+// ---------------------------------------------------------------- executor
+
+TEST(ExecutorTest, SimpleScanAndFilter) {
+  Database db = MakeMusicDb();
+  auto r = MustExecute(db, "SELECT name FROM singer WHERE age = 30");
+  ASSERT_EQ(r.NumRows(), 2u);
+}
+
+TEST(ExecutorTest, SelectStarExpandsColumns) {
+  Database db = MakeMusicDb();
+  auto r = MustExecute(db, "SELECT * FROM singer");
+  EXPECT_EQ(r.NumColumns(), 4u);
+  EXPECT_EQ(r.NumRows(), 4u);
+  EXPECT_EQ(r.column_names[1], "name");
+}
+
+TEST(ExecutorTest, HashJoinOnForeignKey) {
+  Database db = MakeMusicDb();
+  auto r = MustExecute(db,
+                       "SELECT T1.name, T2.title FROM singer AS T1 JOIN song "
+                       "AS T2 ON T1.singer_id = T2.singer_id");
+  EXPECT_EQ(r.NumRows(), 4u);
+}
+
+TEST(ExecutorTest, ThetaJoinFallsBackToNestedLoop) {
+  Database db = MakeMusicDb();
+  auto r = MustExecute(db,
+                       "SELECT T1.name FROM singer AS T1 JOIN song AS T2 ON "
+                       "T1.singer_id < T2.singer_id");
+  EXPECT_GT(r.NumRows(), 0u);
+}
+
+TEST(ExecutorTest, GroupByCountHaving) {
+  Database db = MakeMusicDb();
+  auto r = MustExecute(
+      db,
+      "SELECT T1.name, COUNT(*) FROM singer AS T1 JOIN song AS T2 ON "
+      "T1.singer_id = T2.singer_id GROUP BY T1.name HAVING COUNT(*) >= 2");
+  ASSERT_EQ(r.NumRows(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsText(), "Alice");
+  EXPECT_EQ(r.rows[0][1].AsInteger(), 2);
+}
+
+TEST(ExecutorTest, GlobalAggregatesSkipNulls) {
+  Database db = MakeMusicDb();
+  auto r = MustExecute(db, "SELECT COUNT(*), COUNT(age), AVG(age) FROM singer");
+  ASSERT_EQ(r.NumRows(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInteger(), 4);
+  EXPECT_EQ(r.rows[0][1].AsInteger(), 3);  // Dave's age is NULL
+  EXPECT_NEAR(r.rows[0][2].ToNumeric(), 35.0, 1e-9);
+}
+
+TEST(ExecutorTest, CountDistinct) {
+  Database db = MakeMusicDb();
+  auto r = MustExecute(db, "SELECT COUNT(DISTINCT country) FROM singer");
+  EXPECT_EQ(r.rows[0][0].AsInteger(), 3);
+}
+
+TEST(ExecutorTest, GlobalAggregateOnEmptyInput) {
+  Database db = MakeMusicDb();
+  auto r = MustExecute(db, "SELECT COUNT(*), MAX(age) FROM singer WHERE age > 99");
+  ASSERT_EQ(r.NumRows(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInteger(), 0);
+  EXPECT_TRUE(r.rows[0][1].is_null());
+}
+
+TEST(ExecutorTest, OrderByDescWithLimit) {
+  Database db = MakeMusicDb();
+  auto r = MustExecute(db,
+                       "SELECT name FROM singer WHERE age IS NOT NULL "
+                       "ORDER BY age DESC LIMIT 1");
+  ASSERT_EQ(r.NumRows(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsText(), "Bob");
+}
+
+TEST(ExecutorTest, OrderByAliasAndPosition) {
+  Database db = MakeMusicDb();
+  auto by_alias = MustExecute(
+      db, "SELECT name AS n FROM singer ORDER BY n ASC LIMIT 1");
+  ASSERT_EQ(by_alias.NumRows(), 1u);
+  EXPECT_EQ(by_alias.rows[0][0].AsText(), "Alice");
+  auto by_pos = MustExecute(db, "SELECT name FROM singer ORDER BY 1 DESC LIMIT 1");
+  EXPECT_EQ(by_pos.rows[0][0].AsText(), "Dave");
+}
+
+TEST(ExecutorTest, DistinctRemovesDuplicates) {
+  Database db = MakeMusicDb();
+  auto r = MustExecute(db, "SELECT DISTINCT country FROM singer");
+  EXPECT_EQ(r.NumRows(), 3u);
+}
+
+TEST(ExecutorTest, LikePatterns) {
+  Database db = MakeMusicDb();
+  auto r = MustExecute(db, "SELECT name FROM singer WHERE name LIKE 'a%'");
+  ASSERT_EQ(r.NumRows(), 1u);  // case-insensitive: Alice
+  EXPECT_EQ(r.rows[0][0].AsText(), "Alice");
+  auto r2 = MustExecute(db, "SELECT name FROM singer WHERE name LIKE '_ob'");
+  ASSERT_EQ(r2.NumRows(), 1u);
+  EXPECT_EQ(r2.rows[0][0].AsText(), "Bob");
+}
+
+TEST(ExecutorTest, InListAndBetween) {
+  Database db = MakeMusicDb();
+  auto r = MustExecute(
+      db, "SELECT name FROM singer WHERE country IN ('USA', 'France')");
+  EXPECT_EQ(r.NumRows(), 3u);
+  auto r2 = MustExecute(db,
+                        "SELECT name FROM singer WHERE age BETWEEN 29 AND 31");
+  EXPECT_EQ(r2.NumRows(), 2u);
+  auto r3 = MustExecute(
+      db, "SELECT name FROM singer WHERE age NOT BETWEEN 29 AND 31");
+  EXPECT_EQ(r3.NumRows(), 1u);  // Bob; NULL age row excluded
+}
+
+TEST(ExecutorTest, InSubquery) {
+  Database db = MakeMusicDb();
+  auto r = MustExecute(db,
+                       "SELECT name FROM singer WHERE singer_id IN "
+                       "(SELECT singer_id FROM song WHERE sales > 80)");
+  EXPECT_EQ(r.NumRows(), 1u);  // Alice (two qualifying songs, one singer)
+}
+
+TEST(ExecutorTest, ScalarSubqueryComparison) {
+  Database db = MakeMusicDb();
+  auto r = MustExecute(db,
+                       "SELECT name FROM singer WHERE age > "
+                       "(SELECT AVG(age) FROM singer)");
+  ASSERT_EQ(r.NumRows(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsText(), "Bob");
+}
+
+TEST(ExecutorTest, SetOperations) {
+  Database db = MakeMusicDb();
+  auto u = MustExecute(db,
+                       "SELECT country FROM singer UNION SELECT country FROM "
+                       "singer");
+  EXPECT_EQ(u.NumRows(), 3u);  // deduped
+  auto ua = MustExecute(db,
+                        "SELECT country FROM singer UNION ALL SELECT country "
+                        "FROM singer");
+  EXPECT_EQ(ua.NumRows(), 8u);
+  auto ex = MustExecute(db,
+                        "SELECT country FROM singer EXCEPT SELECT country "
+                        "FROM singer WHERE age = 30");
+  EXPECT_EQ(ex.NumRows(), 2u);  // Canada, France
+  auto in = MustExecute(db,
+                        "SELECT country FROM singer INTERSECT SELECT country "
+                        "FROM singer WHERE age = 45");
+  ASSERT_EQ(in.NumRows(), 1u);
+  EXPECT_EQ(in.rows[0][0].AsText(), "Canada");
+}
+
+TEST(ExecutorTest, ScalarFunctions) {
+  Database db = MakeMusicDb();
+  auto r = MustExecute(
+      db, "SELECT UPPER(name), LENGTH(name), SUBSTR(name, 1, 2) FROM singer "
+          "WHERE singer_id = 1");
+  ASSERT_EQ(r.NumRows(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsText(), "ALICE");
+  EXPECT_EQ(r.rows[0][1].AsInteger(), 5);
+  EXPECT_EQ(r.rows[0][2].AsText(), "Al");
+}
+
+TEST(ExecutorTest, CastAndArithmetic) {
+  Database db = MakeMusicDb();
+  auto r = MustExecute(db,
+                       "SELECT CAST(sales AS INTEGER), sales * 2 FROM song "
+                       "WHERE song_id = 11");
+  ASSERT_EQ(r.NumRows(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInteger(), 250);
+  EXPECT_NEAR(r.rows[0][1].ToNumeric(), 501.0, 1e-9);
+}
+
+TEST(ExecutorTest, DivisionByZeroYieldsNull) {
+  Database db = MakeMusicDb();
+  auto r = MustExecute(db, "SELECT 1 / 0 FROM singer LIMIT 1");
+  ASSERT_EQ(r.NumRows(), 1u);
+  EXPECT_TRUE(r.rows[0][0].is_null());
+}
+
+TEST(ExecutorTest, NullComparisonExcludesRows) {
+  Database db = MakeMusicDb();
+  // Dave has NULL age: neither = nor != matches him.
+  auto eq = MustExecute(db, "SELECT name FROM singer WHERE age = 30");
+  auto ne = MustExecute(db, "SELECT name FROM singer WHERE age != 30");
+  EXPECT_EQ(eq.NumRows() + ne.NumRows(), 3u);
+}
+
+TEST(ExecutorTest, BindErrors) {
+  Database db = MakeMusicDb();
+  EXPECT_FALSE(ExecuteSql(db, "SELECT nope FROM singer").ok());
+  EXPECT_FALSE(ExecuteSql(db, "SELECT name FROM nonexistent").ok());
+  // Ambiguous column across joined tables.
+  EXPECT_FALSE(ExecuteSql(db,
+                          "SELECT singer_id FROM singer JOIN song ON "
+                          "singer.singer_id = song.singer_id")
+                   .ok());
+}
+
+TEST(ExecutorTest, IsExecutablePredicate) {
+  Database db = MakeMusicDb();
+  EXPECT_TRUE(IsExecutable(db, "SELECT name FROM singer"));
+  EXPECT_FALSE(IsExecutable(db, "SELECT bogus FROM singer"));
+  EXPECT_FALSE(IsExecutable(db, "not sql at all"));
+}
+
+TEST(ExecutorTest, RepeatedExecutionOfSameAst) {
+  // The executor writes scratch state into the AST; re-running the same
+  // statement (as the TS metric does across database instances) must work.
+  Database db = MakeMusicDb();
+  auto stmt = ParseSql(
+      "SELECT country, COUNT(*) FROM singer GROUP BY country ORDER BY "
+      "COUNT(*) DESC");
+  ASSERT_TRUE(stmt.ok());
+  Executor exec(db);
+  auto first = exec.Execute(**stmt);
+  auto second = exec.Execute(**stmt);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(ResultsEquivalent(*first, *second, /*ordered=*/true));
+}
+
+// ------------------------------------------------------------ result table
+
+TEST(ResultTableTest, UnorderedEquivalenceIsMultiset) {
+  ResultTable a;
+  a.column_names = {"x"};
+  a.rows = {{Value(int64_t{1})}, {Value(int64_t{2})}, {Value(int64_t{2})}};
+  ResultTable b;
+  b.column_names = {"y"};  // names ignored
+  b.rows = {{Value(int64_t{2})}, {Value(int64_t{1})}, {Value(int64_t{2})}};
+  EXPECT_TRUE(ResultsEquivalent(a, b, /*ordered=*/false));
+  EXPECT_FALSE(ResultsEquivalent(a, b, /*ordered=*/true));
+  // Different multiplicity fails.
+  b.rows.pop_back();
+  EXPECT_FALSE(ResultsEquivalent(a, b, /*ordered=*/false));
+}
+
+TEST(ResultTableTest, NumericToleranceInComparison) {
+  ResultTable a;
+  a.column_names = {"x"};
+  a.rows = {{Value(1.0)}};
+  ResultTable b;
+  b.column_names = {"x"};
+  b.rows = {{Value(1.0 + 1e-9)}};
+  EXPECT_TRUE(ResultsEquivalent(a, b, /*ordered=*/false));
+}
+
+TEST(ResultTableTest, DifferentColumnCountNotEquivalent) {
+  ResultTable a;
+  a.column_names = {"x"};
+  ResultTable b;
+  b.column_names = {"x", "y"};
+  EXPECT_FALSE(ResultsEquivalent(a, b, false));
+}
+
+// ----------------------------------------------------------------- catalog
+
+TEST(CatalogTest, LookupsAreCaseInsensitive) {
+  Database db = MakeMusicDb();
+  EXPECT_TRUE(db.schema().FindTable("SINGER").has_value());
+  EXPECT_TRUE(db.schema().tables[0].FindColumn("NAME").has_value());
+  EXPECT_FALSE(db.schema().FindTable("unknown").has_value());
+}
+
+TEST(CatalogTest, DdlMentionsKeysAndComments) {
+  Database db = MakeMusicDb();
+  std::string ddl = db.schema().ToDdl();
+  EXPECT_NE(ddl.find("CREATE TABLE singer"), std::string::npos);
+  EXPECT_NE(ddl.find("PRIMARY KEY"), std::string::npos);
+  EXPECT_NE(ddl.find("FOREIGN KEY"), std::string::npos);
+  EXPECT_NE(ddl.find("-- singer name"), std::string::npos);
+}
+
+TEST(DatabaseTest, DistinctValuesProbe) {
+  Database db = MakeMusicDb();
+  auto values = db.DistinctValues("singer", "country", 2);
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values[0].AsText(), "USA");
+  EXPECT_EQ(values[1].AsText(), "Canada");
+}
+
+TEST(DatabaseTest, InsertValidation) {
+  Database db = MakeMusicDb();
+  EXPECT_FALSE(db.Insert("unknown", {}).ok());
+  EXPECT_FALSE(db.Insert("singer", {Value(int64_t{9})}).ok());  // arity
+}
+
+TEST(DatabaseTest, CountsValues) {
+  Database db = MakeMusicDb();
+  EXPECT_EQ(db.TotalRows(), 8u);
+  // 32 cells minus 2 NULLs.
+  EXPECT_EQ(db.TotalValues(), 30u);
+}
+
+}  // namespace
+}  // namespace codes::sql
