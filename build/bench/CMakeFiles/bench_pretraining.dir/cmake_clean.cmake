@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pretraining.dir/bench_pretraining.cc.o"
+  "CMakeFiles/bench_pretraining.dir/bench_pretraining.cc.o.d"
+  "bench_pretraining"
+  "bench_pretraining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pretraining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sqlengine.dir/bench_sqlengine.cc.o"
+  "CMakeFiles/bench_sqlengine.dir/bench_sqlengine.cc.o.d"
+  "bench_sqlengine"
+  "bench_sqlengine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sqlengine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

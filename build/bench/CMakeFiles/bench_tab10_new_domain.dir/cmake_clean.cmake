@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab10_new_domain.dir/bench_tab10_new_domain.cc.o"
+  "CMakeFiles/bench_tab10_new_domain.dir/bench_tab10_new_domain.cc.o.d"
+  "bench_tab10_new_domain"
+  "bench_tab10_new_domain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab10_new_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

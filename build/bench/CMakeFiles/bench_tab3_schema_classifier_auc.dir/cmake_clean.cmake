@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab3_schema_classifier_auc.dir/bench_tab3_schema_classifier_auc.cc.o"
+  "CMakeFiles/bench_tab3_schema_classifier_auc.dir/bench_tab3_schema_classifier_auc.cc.o.d"
+  "bench_tab3_schema_classifier_auc"
+  "bench_tab3_schema_classifier_auc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab3_schema_classifier_auc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab4_incontext_learning.dir/bench_tab4_incontext_learning.cc.o"
+  "CMakeFiles/bench_tab4_incontext_learning.dir/bench_tab4_incontext_learning.cc.o.d"
+  "bench_tab4_incontext_learning"
+  "bench_tab4_incontext_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab4_incontext_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

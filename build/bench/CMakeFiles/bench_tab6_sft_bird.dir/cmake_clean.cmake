@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab6_sft_bird.dir/bench_tab6_sft_bird.cc.o"
+  "CMakeFiles/bench_tab6_sft_bird.dir/bench_tab6_sft_bird.cc.o.d"
+  "bench_tab6_sft_bird"
+  "bench_tab6_sft_bird.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab6_sft_bird.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

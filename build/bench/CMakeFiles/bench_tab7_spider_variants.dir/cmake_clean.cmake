@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab7_spider_variants.dir/bench_tab7_spider_variants.cc.o"
+  "CMakeFiles/bench_tab7_spider_variants.dir/bench_tab7_spider_variants.cc.o.d"
+  "bench_tab7_spider_variants"
+  "bench_tab7_spider_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab7_spider_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

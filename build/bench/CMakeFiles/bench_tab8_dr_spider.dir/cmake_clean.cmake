@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab8_dr_spider.dir/bench_tab8_dr_spider.cc.o"
+  "CMakeFiles/bench_tab8_dr_spider.dir/bench_tab8_dr_spider.cc.o.d"
+  "bench_tab8_dr_spider"
+  "bench_tab8_dr_spider.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab8_dr_spider.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_tab8_dr_spider.
+# This may be replaced when dependencies are built.

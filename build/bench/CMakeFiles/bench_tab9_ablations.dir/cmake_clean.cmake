@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab9_ablations.dir/bench_tab9_ablations.cc.o"
+  "CMakeFiles/bench_tab9_ablations.dir/bench_tab9_ablations.cc.o.d"
+  "bench_tab9_ablations"
+  "bench_tab9_ablations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab9_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

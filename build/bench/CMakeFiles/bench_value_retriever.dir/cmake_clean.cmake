@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_value_retriever.dir/bench_value_retriever.cc.o"
+  "CMakeFiles/bench_value_retriever.dir/bench_value_retriever.cc.o.d"
+  "bench_value_retriever"
+  "bench_value_retriever.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_value_retriever.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

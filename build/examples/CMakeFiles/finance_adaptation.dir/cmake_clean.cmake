@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finance_adaptation.dir/finance_adaptation.cpp.o"
+  "CMakeFiles/finance_adaptation.dir/finance_adaptation.cpp.o.d"
+  "finance_adaptation"
+  "finance_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finance_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

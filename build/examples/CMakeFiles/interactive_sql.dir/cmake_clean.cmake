@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_sql.dir/interactive_sql.cpp.o"
+  "CMakeFiles/interactive_sql.dir/interactive_sql.cpp.o.d"
+  "interactive_sql"
+  "interactive_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/robustness_report.cpp" "examples/CMakeFiles/robustness_report.dir/robustness_report.cpp.o" "gcc" "examples/CMakeFiles/robustness_report.dir/robustness_report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/codes_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/augment/CMakeFiles/codes_augment.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/codes_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/generator/CMakeFiles/codes_generator.dir/DependInfo.cmake"
+  "/root/repo/build/src/prompt/CMakeFiles/codes_prompt.dir/DependInfo.cmake"
+  "/root/repo/build/src/retrieval/CMakeFiles/codes_retrieval.dir/DependInfo.cmake"
+  "/root/repo/build/src/linker/CMakeFiles/codes_linker.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/codes_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/lm/CMakeFiles/codes_lm.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/codes_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/codes_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/codes_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqlengine/CMakeFiles/codes_sqlengine.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/codes_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/codes_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("text")
+subdirs("embed")
+subdirs("index")
+subdirs("sqlengine")
+subdirs("dataset")
+subdirs("corpus")
+subdirs("lm")
+subdirs("linker")
+subdirs("retrieval")
+subdirs("prompt")
+subdirs("generator")
+subdirs("augment")
+subdirs("eval")
+subdirs("core")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codes_augment.dir/augmentation.cc.o"
+  "CMakeFiles/codes_augment.dir/augmentation.cc.o.d"
+  "libcodes_augment.a"
+  "libcodes_augment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codes_augment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

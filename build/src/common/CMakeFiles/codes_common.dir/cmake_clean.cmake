@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codes_common.dir/rng.cc.o"
+  "CMakeFiles/codes_common.dir/rng.cc.o.d"
+  "CMakeFiles/codes_common.dir/status.cc.o"
+  "CMakeFiles/codes_common.dir/status.cc.o.d"
+  "CMakeFiles/codes_common.dir/string_util.cc.o"
+  "CMakeFiles/codes_common.dir/string_util.cc.o.d"
+  "libcodes_common.a"
+  "libcodes_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codes_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codes_core.dir/model_zoo.cc.o"
+  "CMakeFiles/codes_core.dir/model_zoo.cc.o.d"
+  "CMakeFiles/codes_core.dir/pipeline.cc.o"
+  "CMakeFiles/codes_core.dir/pipeline.cc.o.d"
+  "libcodes_core.a"
+  "libcodes_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codes_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

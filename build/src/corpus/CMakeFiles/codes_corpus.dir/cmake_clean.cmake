@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codes_corpus.dir/pretrain_corpus.cc.o"
+  "CMakeFiles/codes_corpus.dir/pretrain_corpus.cc.o.d"
+  "libcodes_corpus.a"
+  "libcodes_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codes_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

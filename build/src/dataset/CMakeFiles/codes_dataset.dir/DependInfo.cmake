@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataset/benchmark_builder.cc" "src/dataset/CMakeFiles/codes_dataset.dir/benchmark_builder.cc.o" "gcc" "src/dataset/CMakeFiles/codes_dataset.dir/benchmark_builder.cc.o.d"
+  "/root/repo/src/dataset/db_generator.cc" "src/dataset/CMakeFiles/codes_dataset.dir/db_generator.cc.o" "gcc" "src/dataset/CMakeFiles/codes_dataset.dir/db_generator.cc.o.d"
+  "/root/repo/src/dataset/domains.cc" "src/dataset/CMakeFiles/codes_dataset.dir/domains.cc.o" "gcc" "src/dataset/CMakeFiles/codes_dataset.dir/domains.cc.o.d"
+  "/root/repo/src/dataset/perturb.cc" "src/dataset/CMakeFiles/codes_dataset.dir/perturb.cc.o" "gcc" "src/dataset/CMakeFiles/codes_dataset.dir/perturb.cc.o.d"
+  "/root/repo/src/dataset/templates.cc" "src/dataset/CMakeFiles/codes_dataset.dir/templates.cc.o" "gcc" "src/dataset/CMakeFiles/codes_dataset.dir/templates.cc.o.d"
+  "/root/repo/src/dataset/templates_join.cc" "src/dataset/CMakeFiles/codes_dataset.dir/templates_join.cc.o" "gcc" "src/dataset/CMakeFiles/codes_dataset.dir/templates_join.cc.o.d"
+  "/root/repo/src/dataset/templates_nested.cc" "src/dataset/CMakeFiles/codes_dataset.dir/templates_nested.cc.o" "gcc" "src/dataset/CMakeFiles/codes_dataset.dir/templates_nested.cc.o.d"
+  "/root/repo/src/dataset/value_pool.cc" "src/dataset/CMakeFiles/codes_dataset.dir/value_pool.cc.o" "gcc" "src/dataset/CMakeFiles/codes_dataset.dir/value_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/codes_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/codes_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqlengine/CMakeFiles/codes_sqlengine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codes_dataset.dir/benchmark_builder.cc.o"
+  "CMakeFiles/codes_dataset.dir/benchmark_builder.cc.o.d"
+  "CMakeFiles/codes_dataset.dir/db_generator.cc.o"
+  "CMakeFiles/codes_dataset.dir/db_generator.cc.o.d"
+  "CMakeFiles/codes_dataset.dir/domains.cc.o"
+  "CMakeFiles/codes_dataset.dir/domains.cc.o.d"
+  "CMakeFiles/codes_dataset.dir/perturb.cc.o"
+  "CMakeFiles/codes_dataset.dir/perturb.cc.o.d"
+  "CMakeFiles/codes_dataset.dir/templates.cc.o"
+  "CMakeFiles/codes_dataset.dir/templates.cc.o.d"
+  "CMakeFiles/codes_dataset.dir/templates_join.cc.o"
+  "CMakeFiles/codes_dataset.dir/templates_join.cc.o.d"
+  "CMakeFiles/codes_dataset.dir/templates_nested.cc.o"
+  "CMakeFiles/codes_dataset.dir/templates_nested.cc.o.d"
+  "CMakeFiles/codes_dataset.dir/value_pool.cc.o"
+  "CMakeFiles/codes_dataset.dir/value_pool.cc.o.d"
+  "libcodes_dataset.a"
+  "libcodes_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codes_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

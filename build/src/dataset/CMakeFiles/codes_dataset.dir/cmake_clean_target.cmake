@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcodes_dataset.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codes_embed.dir/sentence_encoder.cc.o"
+  "CMakeFiles/codes_embed.dir/sentence_encoder.cc.o.d"
+  "libcodes_embed.a"
+  "libcodes_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codes_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codes_eval.dir/metrics.cc.o"
+  "CMakeFiles/codes_eval.dir/metrics.cc.o.d"
+  "libcodes_eval.a"
+  "libcodes_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codes_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

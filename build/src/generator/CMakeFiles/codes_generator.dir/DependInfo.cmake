@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/generator/capacity.cc" "src/generator/CMakeFiles/codes_generator.dir/capacity.cc.o" "gcc" "src/generator/CMakeFiles/codes_generator.dir/capacity.cc.o.d"
+  "/root/repo/src/generator/codes_model.cc" "src/generator/CMakeFiles/codes_generator.dir/codes_model.cc.o" "gcc" "src/generator/CMakeFiles/codes_generator.dir/codes_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/codes_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/codes_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/lm/CMakeFiles/codes_lm.dir/DependInfo.cmake"
+  "/root/repo/build/src/prompt/CMakeFiles/codes_prompt.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/codes_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/linker/CMakeFiles/codes_linker.dir/DependInfo.cmake"
+  "/root/repo/build/src/retrieval/CMakeFiles/codes_retrieval.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqlengine/CMakeFiles/codes_sqlengine.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/codes_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/codes_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codes_generator.dir/capacity.cc.o"
+  "CMakeFiles/codes_generator.dir/capacity.cc.o.d"
+  "CMakeFiles/codes_generator.dir/codes_model.cc.o"
+  "CMakeFiles/codes_generator.dir/codes_model.cc.o.d"
+  "libcodes_generator.a"
+  "libcodes_generator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codes_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

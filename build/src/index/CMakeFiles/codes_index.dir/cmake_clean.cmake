@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codes_index.dir/bm25_index.cc.o"
+  "CMakeFiles/codes_index.dir/bm25_index.cc.o.d"
+  "libcodes_index.a"
+  "libcodes_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codes_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

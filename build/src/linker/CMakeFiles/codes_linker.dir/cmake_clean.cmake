@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codes_linker.dir/schema_classifier.cc.o"
+  "CMakeFiles/codes_linker.dir/schema_classifier.cc.o.d"
+  "libcodes_linker.a"
+  "libcodes_linker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codes_linker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codes_lm.dir/ngram_lm.cc.o"
+  "CMakeFiles/codes_lm.dir/ngram_lm.cc.o.d"
+  "libcodes_lm.a"
+  "libcodes_lm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codes_lm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

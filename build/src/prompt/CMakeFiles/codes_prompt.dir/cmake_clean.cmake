@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codes_prompt.dir/prompt_builder.cc.o"
+  "CMakeFiles/codes_prompt.dir/prompt_builder.cc.o.d"
+  "libcodes_prompt.a"
+  "libcodes_prompt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codes_prompt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codes_retrieval.dir/demonstration_retriever.cc.o"
+  "CMakeFiles/codes_retrieval.dir/demonstration_retriever.cc.o.d"
+  "CMakeFiles/codes_retrieval.dir/value_retriever.cc.o"
+  "CMakeFiles/codes_retrieval.dir/value_retriever.cc.o.d"
+  "libcodes_retrieval.a"
+  "libcodes_retrieval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codes_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sqlengine/ast.cc" "src/sqlengine/CMakeFiles/codes_sqlengine.dir/ast.cc.o" "gcc" "src/sqlengine/CMakeFiles/codes_sqlengine.dir/ast.cc.o.d"
+  "/root/repo/src/sqlengine/catalog.cc" "src/sqlengine/CMakeFiles/codes_sqlengine.dir/catalog.cc.o" "gcc" "src/sqlengine/CMakeFiles/codes_sqlengine.dir/catalog.cc.o.d"
+  "/root/repo/src/sqlengine/database.cc" "src/sqlengine/CMakeFiles/codes_sqlengine.dir/database.cc.o" "gcc" "src/sqlengine/CMakeFiles/codes_sqlengine.dir/database.cc.o.d"
+  "/root/repo/src/sqlengine/executor.cc" "src/sqlengine/CMakeFiles/codes_sqlengine.dir/executor.cc.o" "gcc" "src/sqlengine/CMakeFiles/codes_sqlengine.dir/executor.cc.o.d"
+  "/root/repo/src/sqlengine/fingerprint.cc" "src/sqlengine/CMakeFiles/codes_sqlengine.dir/fingerprint.cc.o" "gcc" "src/sqlengine/CMakeFiles/codes_sqlengine.dir/fingerprint.cc.o.d"
+  "/root/repo/src/sqlengine/lexer.cc" "src/sqlengine/CMakeFiles/codes_sqlengine.dir/lexer.cc.o" "gcc" "src/sqlengine/CMakeFiles/codes_sqlengine.dir/lexer.cc.o.d"
+  "/root/repo/src/sqlengine/parser.cc" "src/sqlengine/CMakeFiles/codes_sqlengine.dir/parser.cc.o" "gcc" "src/sqlengine/CMakeFiles/codes_sqlengine.dir/parser.cc.o.d"
+  "/root/repo/src/sqlengine/result_table.cc" "src/sqlengine/CMakeFiles/codes_sqlengine.dir/result_table.cc.o" "gcc" "src/sqlengine/CMakeFiles/codes_sqlengine.dir/result_table.cc.o.d"
+  "/root/repo/src/sqlengine/value.cc" "src/sqlengine/CMakeFiles/codes_sqlengine.dir/value.cc.o" "gcc" "src/sqlengine/CMakeFiles/codes_sqlengine.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/codes_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

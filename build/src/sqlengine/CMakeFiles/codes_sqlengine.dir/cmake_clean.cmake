@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codes_sqlengine.dir/ast.cc.o"
+  "CMakeFiles/codes_sqlengine.dir/ast.cc.o.d"
+  "CMakeFiles/codes_sqlengine.dir/catalog.cc.o"
+  "CMakeFiles/codes_sqlengine.dir/catalog.cc.o.d"
+  "CMakeFiles/codes_sqlengine.dir/database.cc.o"
+  "CMakeFiles/codes_sqlengine.dir/database.cc.o.d"
+  "CMakeFiles/codes_sqlengine.dir/executor.cc.o"
+  "CMakeFiles/codes_sqlengine.dir/executor.cc.o.d"
+  "CMakeFiles/codes_sqlengine.dir/fingerprint.cc.o"
+  "CMakeFiles/codes_sqlengine.dir/fingerprint.cc.o.d"
+  "CMakeFiles/codes_sqlengine.dir/lexer.cc.o"
+  "CMakeFiles/codes_sqlengine.dir/lexer.cc.o.d"
+  "CMakeFiles/codes_sqlengine.dir/parser.cc.o"
+  "CMakeFiles/codes_sqlengine.dir/parser.cc.o.d"
+  "CMakeFiles/codes_sqlengine.dir/result_table.cc.o"
+  "CMakeFiles/codes_sqlengine.dir/result_table.cc.o.d"
+  "CMakeFiles/codes_sqlengine.dir/value.cc.o"
+  "CMakeFiles/codes_sqlengine.dir/value.cc.o.d"
+  "libcodes_sqlengine.a"
+  "libcodes_sqlengine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codes_sqlengine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

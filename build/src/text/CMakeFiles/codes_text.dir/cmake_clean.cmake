@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codes_text.dir/pattern.cc.o"
+  "CMakeFiles/codes_text.dir/pattern.cc.o.d"
+  "CMakeFiles/codes_text.dir/similarity.cc.o"
+  "CMakeFiles/codes_text.dir/similarity.cc.o.d"
+  "CMakeFiles/codes_text.dir/tokenize.cc.o"
+  "CMakeFiles/codes_text.dir/tokenize.cc.o.d"
+  "libcodes_text.a"
+  "libcodes_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codes_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embed_index_test.dir/embed_index_test.cc.o"
+  "CMakeFiles/embed_index_test.dir/embed_index_test.cc.o.d"
+  "embed_index_test"
+  "embed_index_test.pdb"
+  "embed_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embed_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

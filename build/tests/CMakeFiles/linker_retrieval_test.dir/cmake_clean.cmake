@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linker_retrieval_test.dir/linker_retrieval_test.cc.o"
+  "CMakeFiles/linker_retrieval_test.dir/linker_retrieval_test.cc.o.d"
+  "linker_retrieval_test"
+  "linker_retrieval_test.pdb"
+  "linker_retrieval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linker_retrieval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

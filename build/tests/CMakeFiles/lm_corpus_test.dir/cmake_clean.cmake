@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lm_corpus_test.dir/lm_corpus_test.cc.o"
+  "CMakeFiles/lm_corpus_test.dir/lm_corpus_test.cc.o.d"
+  "lm_corpus_test"
+  "lm_corpus_test.pdb"
+  "lm_corpus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lm_corpus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prompt_test.dir/prompt_test.cc.o"
+  "CMakeFiles/prompt_test.dir/prompt_test.cc.o.d"
+  "prompt_test"
+  "prompt_test.pdb"
+  "prompt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prompt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlengine_test.dir/sqlengine_test.cc.o"
+  "CMakeFiles/sqlengine_test.dir/sqlengine_test.cc.o.d"
+  "sqlengine_test"
+  "sqlengine_test.pdb"
+  "sqlengine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlengine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

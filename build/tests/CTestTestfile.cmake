@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/text_test[1]_include.cmake")
+include("/root/repo/build/tests/sqlengine_test[1]_include.cmake")
+include("/root/repo/build/tests/embed_index_test[1]_include.cmake")
+include("/root/repo/build/tests/lm_corpus_test[1]_include.cmake")
+include("/root/repo/build/tests/dataset_test[1]_include.cmake")
+include("/root/repo/build/tests/perturb_test[1]_include.cmake")
+include("/root/repo/build/tests/linker_retrieval_test[1]_include.cmake")
+include("/root/repo/build/tests/prompt_test[1]_include.cmake")
+include("/root/repo/build/tests/generator_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")
+include("/root/repo/build/tests/augment_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
