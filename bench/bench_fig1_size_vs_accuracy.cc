@@ -30,6 +30,7 @@ void Run() {
 
   EvalOptions options;
   options.max_samples = kMaxSamples;
+  options.num_threads = 0;  // parallel evaluation: shard dev set over all cores
 
   // Prompting-based large-model proxies (few-shot, no SQL pre-training).
   struct Proxy {

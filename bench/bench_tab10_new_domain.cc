@@ -16,6 +16,7 @@
 #include "core/model_zoo.h"
 #include "core/pipeline.h"
 #include "dataset/benchmark_builder.h"
+#include "eval/parallel_eval.h"
 
 namespace codes {
 namespace {
@@ -27,13 +28,17 @@ struct MethodResult {
 
 MethodResult Evaluate(const Text2SqlBenchmark& domain_bench,
                       const CodesPipeline& pipeline) {
+  // Predict on every core, then score serially in sample order (the HE
+  // metric needs LenientExecutionMatch, which EvalMetrics doesn't carry).
+  std::vector<std::string> predictions = ParallelPredict(
+      domain_bench, pipeline.PredictorFor(domain_bench), /*num_threads=*/0);
   int n = 0;
   double ex = 0, he = 0;
-  for (const auto& sample : domain_bench.dev) {
-    std::string predicted = pipeline.Predict(domain_bench, sample);
+  for (size_t i = 0; i < domain_bench.dev.size(); ++i) {
+    const auto& sample = domain_bench.dev[i];
     const sql::Database& db = domain_bench.DbOf(sample);
-    if (ExecutionMatch(db, predicted, sample.sql)) ex += 1;
-    if (LenientExecutionMatch(db, predicted, sample.sql)) he += 1;
+    if (ExecutionMatch(db, predictions[i], sample.sql)) ex += 1;
+    if (LenientExecutionMatch(db, predictions[i], sample.sql)) he += 1;
     ++n;
   }
   MethodResult result;

@@ -36,6 +36,7 @@ EvalMetrics RunOne(const Text2SqlBenchmark& benchmark, const LmZoo& zoo,
   pipeline.SetDemonstrationPool(benchmark.train);
   EvalOptions options;
   options.max_samples = kMaxSamples;
+  options.num_threads = 0;  // parallel evaluation: shard dev set over all cores
   options.compute_ts = compute_ts;
   options.ts_instances = 2;
   return EvaluateDevSet(benchmark, pipeline.PredictorFor(benchmark), options);

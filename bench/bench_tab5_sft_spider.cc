@@ -25,6 +25,7 @@ EvalMetrics SftRun(const Text2SqlBenchmark& benchmark, const LmZoo& zoo,
   EvalOptions options;
   options.compute_ts = true;
   options.ts_instances = 3;
+  options.num_threads = 0;  // parallel evaluation: shard dev set over all cores
   return EvaluateDevSet(benchmark, pipeline.PredictorFor(benchmark), options);
 }
 

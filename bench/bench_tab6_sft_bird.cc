@@ -37,6 +37,7 @@ void Run() {
       pipeline.FineTune(bird);
       EvalOptions options;
       options.compute_ves = true;
+      options.num_threads = 0;  // parallel evaluation: shard dev set over all cores
       auto m = EvaluateDevSet(bird, pipeline.PredictorFor(bird), options);
       row.push_back(bench::Pct(m.ex));
       row.push_back(bench::Pct(m.ves));

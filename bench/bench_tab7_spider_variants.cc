@@ -40,10 +40,13 @@ void Run() {
     pipeline.TrainClassifier(spider);
     pipeline.FineTune(spider);
 
+    // Both option sets shard the dev set across every core (num_threads 0).
     EvalOptions with_ts;
     with_ts.compute_ts = true;
     with_ts.ts_instances = 2;
+    with_ts.num_threads = 0;
     EvalOptions ex_only;
+    ex_only.num_threads = 0;
 
     auto m_syn = EvaluateDevSet(syn, pipeline.PredictorFor(syn), with_ts);
     auto m_rea =

@@ -54,6 +54,7 @@ void Run() {
 
   EvalOptions options;
   options.max_samples = kMaxSamples;
+  options.num_threads = 0;  // parallel evaluation: shard dev set over all cores
 
   for (const auto& set : suite) {
     std::vector<std::string> row{set.category, set.name,

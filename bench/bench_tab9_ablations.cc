@@ -82,6 +82,7 @@ void Run() {
         pipeline.SetDemonstrationPool(benchmark->train);
         EvalOptions options;
         options.max_samples = kMaxSamples;
+        options.num_threads = 0;  // parallel evaluation over all cores
         options.compute_ts = is_spider;
         options.ts_instances = 2;
         auto m = EvaluateDevSet(*benchmark,

@@ -1,7 +1,9 @@
 // Robustness report: fine-tune once on the clean Spider-like benchmark,
 // then replay the dev set through every perturbation family (Spider-Syn /
 // Realistic / DK and the 17 Dr.Spider sets) and print the accuracy deltas
-// — the Section 9.4 protocol as a deployable diagnostic.
+// — the Section 9.4 protocol as a deployable diagnostic. Every replay runs
+// through the parallel evaluation driver on all cores; the report is
+// deterministic regardless of thread count.
 
 #include <cstdio>
 
@@ -9,7 +11,7 @@
 #include "core/pipeline.h"
 #include "dataset/benchmark_builder.h"
 #include "dataset/perturb.h"
-#include "eval/metrics.h"
+#include "eval/parallel_eval.h"
 
 int main() {
   using namespace codes;
@@ -24,6 +26,7 @@ int main() {
 
   EvalOptions options;
   options.max_samples = 100;
+  options.num_threads = 0;  // shard each replay across every core
   auto clean = EvaluateDevSet(spider, pipeline.PredictorFor(spider), options);
   std::printf("clean dev EX: %.1f%% (n=%d)\n\n", clean.ex, clean.n);
 

@@ -1,0 +1,73 @@
+#ifndef CODES_COMMON_THREAD_POOL_H_
+#define CODES_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace codes {
+
+/// A fixed-size thread pool with one shared FIFO task queue (no work
+/// stealing: every worker pops from the same queue under one mutex, which
+/// is plenty for the coarse-grained shards this library runs).
+///
+/// The pool exists to parallelize embarrassingly parallel evaluation work
+/// (eval/parallel_eval.h) while keeping results deterministic: callers
+/// write each task's output to a pre-assigned slot, so the merge order
+/// never depends on thread interleaving.
+///
+/// Contract:
+///  * Tasks must not throw; an escaping exception terminates the process.
+///  * Submit/Wait may be called from any thread, but Wait() only waits for
+///    tasks submitted before it is entered.
+///  * The destructor drains the queue (it behaves like Wait() + join).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (values <= 0 are resolved via
+  /// ResolveThreadCount). A 1-thread pool still spawns its worker; use
+  /// ParallelFor for an inline serial fast path.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues one task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every previously submitted task has finished.
+  void Wait();
+
+  /// Splits [0, n) into `size()` contiguous shards and runs
+  /// `body(begin, end)` for each; blocks until all shards finish. With one
+  /// worker (or n <= 1) the body runs inline on the calling thread, so a
+  /// single-threaded ParallelFor is bit-for-bit a plain serial loop.
+  void ParallelFor(size_t n,
+                   const std::function<void(size_t, size_t)>& body);
+
+  /// Maps a `num_threads` knob to an actual worker count: values >= 1 pass
+  /// through; 0 and negatives mean "one per hardware thread" (at least 1).
+  static int ResolveThreadCount(int requested);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // signals workers: task ready / stop
+  std::condition_variable idle_cv_;  // signals waiters: pool drained
+  size_t in_flight_ = 0;             // queued + currently running tasks
+  bool stop_ = false;
+};
+
+}  // namespace codes
+
+#endif  // CODES_COMMON_THREAD_POOL_H_

@@ -1,6 +1,7 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <mutex>
 
 #include "common/rng.h"
 
@@ -57,6 +58,13 @@ void CodesPipeline::FineTune(const Text2SqlBenchmark& bench,
 void CodesPipeline::SetDemonstrationPool(
     const std::vector<Text2SqlSample>& pool) {
   demo_pool_ = pool;
+  mean_demo_cost_ = 0;
+  if (!demo_pool_.empty()) {
+    int64_t total = 0;
+    for (const auto& demo : demo_pool_) total += DemoTokenCost(demo);
+    mean_demo_cost_ =
+        static_cast<int>(total / static_cast<int64_t>(demo_pool_.size()));
+  }
   DemonstrationRetriever::Options options;
   options.embedding_dim = model_.profile().embedding_dim;
   options.use_pattern_similarity = config_.use_pattern_similarity;
@@ -66,12 +74,18 @@ void CodesPipeline::SetDemonstrationPool(
 const ValueRetriever* CodesPipeline::RetrieverFor(
     const sql::Database& db) const {
   if (!config_.prompt.use_value_retriever) return nullptr;
-  auto it = retriever_cache_.find(&db);
-  if (it == retriever_cache_.end()) {
-    auto retriever = std::make_unique<ValueRetriever>();
-    retriever->BuildIndex(db);
-    it = retriever_cache_.emplace(&db, std::move(retriever)).first;
+  {
+    std::shared_lock<std::shared_mutex> lock(retriever_mu_);
+    auto it = retriever_cache_.find(&db);
+    if (it != retriever_cache_.end()) return it->second.get();
   }
+  // Build outside the lock so concurrent misses on different databases
+  // index in parallel; on a same-database race the first insert wins and
+  // the loser's copy is discarded.
+  auto retriever = std::make_unique<ValueRetriever>();
+  retriever->BuildIndex(db);
+  std::unique_lock<std::shared_mutex> lock(retriever_mu_);
+  auto [it, inserted] = retriever_cache_.try_emplace(&db, std::move(retriever));
   return it->second.get();
 }
 
@@ -95,9 +109,9 @@ DatabasePrompt CodesPipeline::BuildPrompt(const Text2SqlBenchmark& bench,
   options.max_prompt_tokens = std::min(options.max_prompt_tokens,
                                        model_.profile().max_context_tokens);
   if (config_.icl_shots > 0 && !demo_pool_.empty()) {
-    int avg_demo = DemoTokenCost(demo_pool_[0]);
     options.max_prompt_tokens = std::max(
-        256, options.max_prompt_tokens - config_.icl_shots * avg_demo);
+        256,
+        options.max_prompt_tokens - config_.icl_shots * mean_demo_cost_);
   }
 
   PromptBuilder builder(classifier_.get(), options);

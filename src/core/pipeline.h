@@ -2,6 +2,7 @@
 #define CODES_CORE_PIPELINE_H_
 
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -48,6 +49,17 @@ struct PipelineConfig {
 ///   CodesPipeline pipeline(config, &lm);
 ///   pipeline.SetDemonstrationPool(bench.train);
 ///   std::string sql = pipeline.Predict(bench, sample);
+///
+/// Thread-safety contract: after the setup phase (constructor,
+/// TrainClassifier/ShareClassifier, FineTune, SetDemonstrationPool) has
+/// finished, every `const` method — Predict, BuildPrompt, PredictorFor —
+/// is safe to call concurrently from any number of threads. The only
+/// mutable state on that path, the lazily built per-database value
+/// retriever cache, is guarded internally by a shared mutex; everything
+/// else (model, classifier, demonstration retriever) is read-only at
+/// inference time. Setup methods themselves are NOT thread-safe and must
+/// happen-before any concurrent use. This is what lets
+/// ParallelEvaluateDevSet shard a dev set across a thread pool.
 class CodesPipeline {
  public:
   /// `lm` must outlive the pipeline (pass the incrementally pre-trained
@@ -89,6 +101,10 @@ class CodesPipeline {
   const PipelineConfig& config() const { return config_; }
 
  private:
+  /// Returns the cached (or lazily built) value retriever for `db`.
+  /// Thread-safe: shared-lock lookup on the fast path, exclusive insert on
+  /// miss. The returned pointer stays valid for the pipeline's lifetime
+  /// (map values are heap-allocated and never evicted).
   const ValueRetriever* RetrieverFor(const sql::Database& db) const;
   std::string QuestionWithEk(const Text2SqlSample& sample) const;
 
@@ -97,6 +113,11 @@ class CodesPipeline {
   std::shared_ptr<SchemaItemClassifier> classifier_;
   std::unique_ptr<DemonstrationRetriever> demo_retriever_;
   std::vector<Text2SqlSample> demo_pool_;
+  /// Mean prompt-token cost of one demonstration, fixed at
+  /// SetDemonstrationPool time (budgeting per-call on demo_pool_[0] alone
+  /// let one unusually short first demo blow the token budget).
+  int mean_demo_cost_ = 0;
+  mutable std::shared_mutex retriever_mu_;
   mutable std::unordered_map<const sql::Database*,
                              std::unique_ptr<ValueRetriever>>
       retriever_cache_;

@@ -1,14 +1,8 @@
 #include "eval/metrics.h"
 
-#include <algorithm>
-#include <cmath>
 #include <functional>
-#include <unordered_map>
 
-#include "common/rng.h"
-#include "common/timer.h"
-#include "dataset/db_generator.h"
-#include "dataset/domains.h"
+#include "eval/parallel_eval.h"
 #include "sqlengine/executor.h"
 #include "sqlengine/parser.h"
 
@@ -64,98 +58,12 @@ bool LenientExecutionMatch(const sql::Database& db,
   return search(0, 0);
 }
 
-namespace {
-
-/// Median execution seconds over `repeats` runs (parse once).
-double TimedExecution(const sql::Database& db, const std::string& sql_text,
-                      int repeats) {
-  auto stmt = sql::ParseSql(sql_text);
-  if (!stmt.ok()) return 0.0;
-  sql::Executor executor(db);
-  std::vector<double> times;
-  times.reserve(static_cast<size_t>(repeats));
-  for (int i = 0; i < repeats; ++i) {
-    Timer timer;
-    auto result = executor.Execute(**stmt);
-    if (!result.ok()) return 0.0;
-    times.push_back(timer.ElapsedSeconds());
-  }
-  std::sort(times.begin(), times.end());
-  return times[times.size() / 2];
-}
-
-}  // namespace
-
 EvalMetrics EvaluateDevSet(const Text2SqlBenchmark& bench,
                            const SqlPredictor& predictor,
                            const EvalOptions& options) {
-  EvalMetrics metrics;
-  Rng rng(options.seed);
-
-  // Test-suite database instances per dev database, built lazily.
-  std::unordered_map<int, std::vector<sql::Database>> ts_instances;
-  auto instances_for = [&](int db_index) -> const std::vector<sql::Database>& {
-    auto it = ts_instances.find(db_index);
-    if (it != ts_instances.end()) return it->second;
-    std::vector<sql::Database> instances;
-    const sql::Database& db = bench.databases[db_index];
-    const DomainSpec* domain =
-        db_index < static_cast<int>(bench.domain_names.size())
-            ? FindDomain(bench.domain_names[db_index])
-            : nullptr;
-    if (domain != nullptr) {
-      for (int i = 0; i < options.ts_instances; ++i) {
-        Rng instance_rng = rng.Fork();
-        instances.push_back(
-            RegenerateContents(db, *domain, bench.profile, instance_rng));
-      }
-    }
-    return ts_instances.emplace(db_index, std::move(instances)).first->second;
-  };
-
-  double ex_sum = 0, ts_sum = 0, ves_sum = 0;
-  int n = 0;
-  for (const auto& sample : bench.dev) {
-    if (options.max_samples >= 0 && n >= options.max_samples) break;
-    const sql::Database& db = bench.DbOf(sample);
-    std::string predicted = predictor(sample);
-    bool correct = ExecutionMatch(db, predicted, sample.sql);
-    ex_sum += correct ? 1.0 : 0.0;
-
-    if (options.compute_ts) {
-      bool ts_pass = correct;
-      if (ts_pass) {
-        for (const auto& instance : instances_for(sample.db_index)) {
-          if (!ExecutionMatch(instance, predicted, sample.sql)) {
-            ts_pass = false;
-            break;
-          }
-        }
-      }
-      ts_sum += ts_pass ? 1.0 : 0.0;
-    }
-
-    if (options.compute_ves && correct) {
-      double gold_time = TimedExecution(db, sample.sql, options.ves_repeats);
-      double pred_time = TimedExecution(db, predicted, options.ves_repeats);
-      if (gold_time > 0 && pred_time > 0) {
-        // R-VES: sqrt of the time ratio, clamped to a sane band.
-        double ratio = std::sqrt(gold_time / pred_time);
-        ves_sum += std::clamp(ratio, 0.0, 2.0);
-      } else {
-        ves_sum += 1.0;
-      }
-    }
-    ++n;
-  }
-
-  metrics.n = n;
-  if (n > 0) {
-    metrics.ex = 100.0 * ex_sum / n;
-    metrics.ts = 100.0 * ts_sum / n;
-    metrics.ves = 100.0 * ves_sum / n;
-  }
-  return metrics;
+  // The sharded driver with num_threads == 1 is bit-for-bit the historical
+  // serial loop; see eval/parallel_eval.h for the determinism argument.
+  return ParallelEvaluateDevSet(bench, predictor, options).metrics;
 }
 
 }  // namespace codes

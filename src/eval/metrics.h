@@ -22,6 +22,14 @@ struct EvalOptions {
   uint64_t seed = 4242;
   /// Cap the number of dev samples evaluated (<0: all).
   int max_samples = -1;
+  /// Worker threads for evaluation. 0 (the default) uses one thread per
+  /// hardware thread; 1 reproduces the historical serial loop bit-for-bit.
+  /// Any thread count yields identical predictions and EX/TS metrics —
+  /// samples are sharded deterministically and merged in index order — but
+  /// the predictor must be safe to call concurrently when the count is not
+  /// 1 (CodesPipeline::PredictorFor qualifies; a lambda capturing mutable
+  /// state by reference does not).
+  int num_threads = 0;
 };
 
 /// Aggregated metrics over a dev set, all in percent.
@@ -50,7 +58,10 @@ bool LenientExecutionMatch(const sql::Database& db,
                            const std::string& predicted,
                            const std::string& gold);
 
-/// Evaluates `predictor` over `bench.dev`.
+/// Evaluates `predictor` over `bench.dev`, sharding samples across
+/// `options.num_threads` workers (see eval/parallel_eval.h for the driver
+/// and for access to per-sample results). Metrics are independent of the
+/// thread count.
 EvalMetrics EvaluateDevSet(const Text2SqlBenchmark& bench,
                            const SqlPredictor& predictor,
                            const EvalOptions& options);

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+
 #include "common/string_util.h"
 #include "dataset/benchmark_builder.h"
 #include "eval/metrics.h"
@@ -88,12 +90,13 @@ TEST_F(EvalTest, TsIsStricterThanEx) {
   EvalOptions options;
   options.compute_ts = true;
   options.ts_instances = 3;
-  int flip = 0;
+  // Atomic: EvaluateDevSet calls the predictor from several threads.
+  std::atomic<int> flip{0};
   auto m = EvaluateDevSet(
       *bench_,
       [&flip](const Text2SqlSample& s) {
         // Every third prediction is garbage.
-        return (++flip % 3 == 0) ? std::string("SELECT") : s.sql;
+        return (flip.fetch_add(1) % 3 == 2) ? std::string("SELECT") : s.sql;
       },
       options);
   EXPECT_LE(m.ts, m.ex);
