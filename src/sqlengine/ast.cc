@@ -28,14 +28,63 @@ const char* BinaryOpName(BinaryOp op) {
 
 namespace {
 
-bool NeedsParens(const Expr& child) {
-  return child.kind == ExprKind::kBinary &&
-         (child.binary_op == BinaryOp::kAnd || child.binary_op == BinaryOp::kOr);
+/// Binding strength of a node when printed, mirroring the parser's
+/// precedence ladder (OR < AND < NOT < comparison/IS/IN/BETWEEN/LIKE <
+/// additive/concat < multiplicative < unary minus < primary). Serialization
+/// must parenthesize any child that binds looser than its context, or the
+/// text re-parses to a different tree — e.g. (1 + 2) * 3 printed without
+/// parens comes back as 1 + 2 * 3.
+int PrecedenceOf(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kBinary:
+      switch (e.binary_op) {
+        case BinaryOp::kOr:
+          return 1;
+        case BinaryOp::kAnd:
+          return 2;
+        case BinaryOp::kEq:
+        case BinaryOp::kNe:
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe:
+        case BinaryOp::kLike:
+        case BinaryOp::kNotLike:
+          return 4;
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+        case BinaryOp::kConcat:
+          return 5;
+        case BinaryOp::kMul:
+        case BinaryOp::kDiv:
+          return 6;
+      }
+      return 4;
+    case ExprKind::kUnary:
+      switch (e.unary_op) {
+        case UnaryOp::kNot:
+          return 3;
+        case UnaryOp::kNegate:
+          return 7;
+        case UnaryOp::kIsNull:
+        case UnaryOp::kIsNotNull:
+          return 4;
+      }
+      return 3;
+    case ExprKind::kBetween:
+    case ExprKind::kInList:
+    case ExprKind::kInSubquery:
+      return 4;
+    default:
+      return 8;  // literals, column refs, functions, CAST, (subquery), '*'
+  }
 }
 
-std::string ChildSql(const Expr& child) {
+/// Prints `child`, parenthesized when it binds looser than the context
+/// requires.
+std::string ChildSql(const Expr& child, int min_prec) {
   std::string s = child.ToSql();
-  if (NeedsParens(child)) return "(" + s + ")";
+  if (PrecedenceOf(child) < min_prec) return "(" + s + ")";
   return s;
 }
 
@@ -49,20 +98,37 @@ std::string Expr::ToSql() const {
       if (table.empty()) return column;
       return table + "." + column;
     case ExprKind::kStar:
-      return "*";
+      // A qualified star ("T1.*") must keep its qualifier: in a join it
+      // expands to one table's columns, a bare '*' to all of them.
+      if (table.empty()) return "*";
+      return table + ".*";
     case ExprKind::kUnary: {
-      const std::string inner = ChildSql(*children[0]);
       switch (unary_op) {
-        case UnaryOp::kNot: return "NOT " + inner;
-        case UnaryOp::kNegate: return "-" + inner;
-        case UnaryOp::kIsNull: return inner + " IS NULL";
-        case UnaryOp::kIsNotNull: return inner + " IS NOT NULL";
+        case UnaryOp::kNot:
+          // NOT applies down to comparison level; parenthesize AND/OR/NOT.
+          return "NOT " + ChildSql(*children[0], 3);
+        case UnaryOp::kNegate:
+          // The parser only allows a primary after unary '-'; anything
+          // else (including a nested negate, which would lex as "--")
+          // needs parens.
+          return "-" + ChildSql(*children[0], 8);
+        case UnaryOp::kIsNull:
+          return ChildSql(*children[0], 5) + " IS NULL";
+        case UnaryOp::kIsNotNull:
+          return ChildSql(*children[0], 5) + " IS NOT NULL";
       }
-      return inner;
+      return children[0]->ToSql();
     }
     case ExprKind::kBinary: {
-      return ChildSql(*children[0]) + " " + BinaryOpName(binary_op) + " " +
-             ChildSql(*children[1]);
+      const int prec = PrecedenceOf(*this);
+      // Left-associative: an equal-precedence child re-parses identically
+      // on the left but needs parens on the right (a - (b - c)).
+      // Comparisons are non-associative, so both sides require the next
+      // tighter level.
+      const int left_min = (prec == 4) ? 5 : prec;
+      const int right_min = prec + 1;
+      return ChildSql(*children[0], left_min) + " " +
+             BinaryOpName(binary_op) + " " + ChildSql(*children[1], right_min);
     }
     case ExprKind::kFunction: {
       std::string out = function + "(";
@@ -75,14 +141,16 @@ std::string Expr::ToSql() const {
       return out;
     }
     case ExprKind::kBetween: {
-      std::string out = ChildSql(*children[0]);
+      // Operand and bounds are parsed at additive level; an embedded AND
+      // in the upper bound would otherwise merge with BETWEEN's AND.
+      std::string out = ChildSql(*children[0], 5);
       if (negated) out += " NOT";
-      out += " BETWEEN " + children[1]->ToSql() + " AND " +
-             children[2]->ToSql();
+      out += " BETWEEN " + ChildSql(*children[1], 5) + " AND " +
+             ChildSql(*children[2], 5);
       return out;
     }
     case ExprKind::kInList: {
-      std::string out = ChildSql(*children[0]);
+      std::string out = ChildSql(*children[0], 5);
       out += negated ? " NOT IN (" : " IN (";
       for (size_t i = 0; i < in_list.size(); ++i) {
         if (i > 0) out += ", ";
@@ -92,7 +160,7 @@ std::string Expr::ToSql() const {
       return out;
     }
     case ExprKind::kInSubquery: {
-      std::string out = ChildSql(*children[0]);
+      std::string out = ChildSql(*children[0], 5);
       out += negated ? " NOT IN (" : " IN (";
       out += subquery->ToSql();
       out += ")";

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <unordered_map>
 #include <vector>
 
@@ -388,6 +389,25 @@ class SelectRunner {
     return v.ToNumeric() != 0.0;
   }
 
+  /// Three-valued `x [NOT] IN (...)`: TRUE on a match, otherwise NULL when
+  /// the list contains a NULL (the comparison to it is unknown), else
+  /// FALSE. NOT IN inverts TRUE/FALSE and keeps NULL.
+  static Value InResult(const Value& v, const std::vector<Value>& items,
+                        bool negated) {
+    bool has_null = false;
+    for (const auto& item : items) {
+      if (item.is_null()) {
+        has_null = true;
+        continue;
+      }
+      if (v.SqlEquals(item)) {
+        return Value(static_cast<int64_t>(negated ? 0 : 1));
+      }
+    }
+    if (has_null) return Value();
+    return Value(static_cast<int64_t>(negated ? 1 : 0));
+  }
+
   /// Evaluates `e` against a working row. Aggregate nodes must have their
   /// `agg_result` precomputed (use_agg_result set) when this is called in
   /// post-aggregation context.
@@ -412,7 +432,10 @@ class SelectRunner {
             return Value(static_cast<int64_t>(Truthy(*inner) ? 0 : 1));
           case UnaryOp::kNegate:
             if (inner->is_null()) return Value();
-            if (inner->is_integer()) return Value(-inner->AsInteger());
+            if (inner->is_integer() &&
+                inner->AsInteger() != std::numeric_limits<int64_t>::min()) {
+              return Value(-inner->AsInteger());
+            }
             return Value(-inner->ToNumeric());
           case UnaryOp::kIsNull:
             return Value(static_cast<int64_t>(inner->is_null() ? 1 : 0));
@@ -441,15 +464,7 @@ class SelectRunner {
         auto v = Eval(*e.children[0], row);
         if (!v.ok()) return v.status();
         if (v->is_null()) return Value();
-        bool found = false;
-        for (const auto& item : e.in_list) {
-          if (v->SqlEquals(item)) {
-            found = true;
-            break;
-          }
-        }
-        if (e.negated) found = !found;
-        return Value(static_cast<int64_t>(found ? 1 : 0));
+        return InResult(*v, e.in_list, e.negated);
       }
       case ExprKind::kInSubquery: {
         auto v = Eval(*e.children[0], row);
@@ -457,15 +472,7 @@ class SelectRunner {
         if (v->is_null()) return Value();
         auto sub = SubqueryValues(e);
         if (!sub.ok()) return sub.status();
-        bool found = false;
-        for (const auto& item : **sub) {
-          if (v->SqlEquals(item)) {
-            found = true;
-            break;
-          }
-        }
-        if (e.negated) found = !found;
-        return Value(static_cast<int64_t>(found ? 1 : 0));
+        return InResult(*v, **sub, e.negated);
       }
       case ExprKind::kScalarSubquery: {
         auto sub = SubqueryValues(e);
@@ -478,8 +485,19 @@ class SelectRunner {
         if (!v.ok()) return v.status();
         if (v->is_null()) return Value();
         switch (e.cast_type) {
-          case DataType::kInteger:
-            return Value(static_cast<int64_t>(v->ToNumeric()));
+          case DataType::kInteger: {
+            // Out-of-range double→int64 conversion is UB; saturate like a
+            // checked cast instead.
+            double d = v->ToNumeric();
+            if (std::isnan(d)) return Value(static_cast<int64_t>(0));
+            if (d >= 9223372036854775808.0) {  // 2^63
+              return Value(std::numeric_limits<int64_t>::max());
+            }
+            if (d < -9223372036854775808.0) {
+              return Value(std::numeric_limits<int64_t>::min());
+            }
+            return Value(static_cast<int64_t>(d));
+          }
           case DataType::kReal:
             return Value(v->ToNumeric());
           case DataType::kText:
@@ -568,19 +586,33 @@ class SelectRunner {
         double a = l->ToNumeric();
         double b = r->ToNumeric();
         bool both_int = l->is_integer() && r->is_integer();
+        // Integer arithmetic widens to REAL on overflow instead of
+        // wrapping (signed overflow is UB and trips UBSan).
+        int64_t iout = 0;
         switch (e.binary_op) {
           case BinaryOp::kAdd:
-            return both_int ? Value(l->AsInteger() + r->AsInteger())
-                            : Value(a + b);
+            if (both_int && !__builtin_add_overflow(l->AsInteger(),
+                                                    r->AsInteger(), &iout)) {
+              return Value(iout);
+            }
+            return Value(a + b);
           case BinaryOp::kSub:
-            return both_int ? Value(l->AsInteger() - r->AsInteger())
-                            : Value(a - b);
+            if (both_int && !__builtin_sub_overflow(l->AsInteger(),
+                                                    r->AsInteger(), &iout)) {
+              return Value(iout);
+            }
+            return Value(a - b);
           case BinaryOp::kMul:
-            return both_int ? Value(l->AsInteger() * r->AsInteger())
-                            : Value(a * b);
+            if (both_int && !__builtin_mul_overflow(l->AsInteger(),
+                                                    r->AsInteger(), &iout)) {
+              return Value(iout);
+            }
+            return Value(a * b);
           case BinaryOp::kDiv:
             if (b == 0.0) return Value();
-            if (both_int && r->AsInteger() != 0) {
+            if (both_int && r->AsInteger() != 0 &&
+                !(l->AsInteger() == std::numeric_limits<int64_t>::min() &&
+                  r->AsInteger() == -1)) {
               return Value(l->AsInteger() / r->AsInteger());
             }
             return Value(a / b);
@@ -650,7 +682,10 @@ class SelectRunner {
       auto v = arg(0);
       if (!v.ok()) return v.status();
       if (v->is_null()) return Value();
-      if (v->is_integer()) return Value(std::abs(v->AsInteger()));
+      if (v->is_integer() &&
+          v->AsInteger() != std::numeric_limits<int64_t>::min()) {
+        return Value(std::abs(v->AsInteger()));
+      }
       return Value(std::abs(v->ToNumeric()));
     }
     if (f == "ROUND") {
@@ -661,10 +696,12 @@ class SelectRunner {
       if (e.children.size() > 1) {
         auto d = arg(1);
         if (!d.ok()) return d.status();
-        digits = static_cast<int64_t>(d->ToNumeric());
+        digits = static_cast<int64_t>(std::clamp(d->ToNumeric(), -30.0, 30.0));
       }
       double scale = std::pow(10.0, static_cast<double>(digits));
-      return Value(std::round(v->ToNumeric() * scale) / scale);
+      double scaled = std::round(v->ToNumeric() * scale) / scale;
+      if (!std::isfinite(scaled)) return Value(v->ToNumeric());
+      return Value(scaled);
     }
     if (f == "LENGTH") {
       auto v = arg(0);
@@ -920,10 +957,9 @@ class SelectRunner {
       int64_t itotal = 0;
       for (const auto& v : values) {
         total += v.ToNumeric();
-        if (v.is_integer()) {
-          itotal += v.AsInteger();
-        } else {
-          all_int = false;
+        if (!v.is_integer() ||
+            __builtin_add_overflow(itotal, v.AsInteger(), &itotal)) {
+          all_int = false;  // overflow: report the REAL running sum
         }
       }
       if (f == "SUM") {

@@ -96,8 +96,22 @@ Result<std::vector<Token>> LexSql(std::string_view input) {
         if (input[i] == '.') has_dot = true;
         ++i;
       }
+      // Exponent suffix ("1.5e-05", "2E8"); only consumed when a digit
+      // actually follows, so "1e" stays number-then-identifier.
+      bool has_exp = false;
+      if (i < n && (input[i] == 'e' || input[i] == 'E')) {
+        size_t j = i + 1;
+        if (j < n && (input[j] == '+' || input[j] == '-')) ++j;
+        if (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) {
+          has_exp = true;
+          i = j;
+          while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+            ++i;
+          }
+        }
+      }
       std::string text(input.substr(start, i - start));
-      if (has_dot) {
+      if (has_dot || has_exp) {
         token.kind = TokenKind::kReal;
         token.real_value = std::strtod(text.c_str(), nullptr);
       } else {

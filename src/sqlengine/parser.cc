@@ -322,14 +322,20 @@ class Parser {
       e->negated = negated;
       e->children.push_back(std::move(node));
       while (true) {
+        // Negative numbers serialize as "-5"; accept the sign here since
+        // IN-list members are literals, not full expressions.
+        bool minus = AcceptSymbol("-");
         const Token& t = Peek();
-        if (t.kind == TokenKind::kString) {
+        if (!minus && t.kind == TokenKind::kString) {
           e->in_list.emplace_back(Advance().text);
         } else if (t.kind == TokenKind::kInteger) {
-          e->in_list.emplace_back(Advance().int_value);
+          int64_t v = Advance().int_value;
+          e->in_list.emplace_back(minus ? -v : v);
         } else if (t.kind == TokenKind::kReal) {
-          e->in_list.emplace_back(Advance().real_value);
-        } else if (t.kind == TokenKind::kKeyword && t.text == "NULL") {
+          double v = Advance().real_value;
+          e->in_list.emplace_back(minus ? -v : v);
+        } else if (!minus && t.kind == TokenKind::kKeyword &&
+                   t.text == "NULL") {
           Advance();
           e->in_list.emplace_back();
         } else {
@@ -506,7 +512,7 @@ class Parser {
         Advance();
         if (PeekSymbol("*")) {
           Advance();
-          // table.* — treated as plain star at execution time.
+          // table.* — expands to that table's columns at execution time.
           auto e = Expr::MakeStar();
           e->table = first;
           return e;

@@ -1,5 +1,6 @@
 #include "sqlengine/value.h"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -40,11 +41,28 @@ double Value::ToNumeric() const {
   if (is_integer()) return static_cast<double>(std::get<int64_t>(data_));
   if (is_real()) return std::get<double>(data_);
   if (is_text()) {
+    // SQLite-style numeric coercion: parse a leading decimal number only.
+    // Bare strtod also accepts "inf", "nan", and hex floats, so a value
+    // like 'Nancy' would coerce to NaN and poison every comparison
+    // against it (NaN != NaN).
     const std::string& s = std::get<std::string>(data_);
-    char* end = nullptr;
-    double v = std::strtod(s.c_str(), &end);
-    if (end == s.c_str()) return 0.0;
-    return v;
+    size_t i = 0;
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) {
+      ++i;
+    }
+    size_t j = i;
+    if (j < s.size() && (s[j] == '+' || s[j] == '-')) ++j;
+    bool numeric =
+        j < s.size() &&
+        (std::isdigit(static_cast<unsigned char>(s[j])) ||
+         (s[j] == '.' && j + 1 < s.size() &&
+          std::isdigit(static_cast<unsigned char>(s[j + 1]))));
+    if (!numeric) return 0.0;
+    if (s[j] == '0' && j + 1 < s.size() &&
+        (s[j + 1] == 'x' || s[j + 1] == 'X')) {
+      return 0.0;  // no hex floats under numeric affinity
+    }
+    return std::strtod(s.c_str() + i, nullptr);
   }
   return 0.0;
 }

@@ -4,6 +4,7 @@
 #include "sqlengine/catalog.h"
 #include "sqlengine/database.h"
 #include "sqlengine/executor.h"
+#include "sqlengine/fingerprint.h"
 #include "sqlengine/lexer.h"
 #include "sqlengine/parser.h"
 #include "sqlengine/result_table.h"
@@ -502,6 +503,231 @@ TEST(DatabaseTest, CountsValues) {
   EXPECT_EQ(db.TotalRows(), 8u);
   // 32 cells minus 2 NULLs.
   EXPECT_EQ(db.TotalValues(), 30u);
+}
+
+// --------------------------------------------------- AST round-trip matrix
+
+/// Asserts ToSql -> parse -> ToSql is a fixpoint and that the reparsed
+/// statement is structurally identical (same fingerprint key). This is the
+/// same invariant the fuzzer's roundtrip oracle checks on random queries;
+/// here each AST node kind gets a deliberate, named instance.
+void ExpectRoundTrip(const std::string& sql) {
+  auto first = ParseSql(sql);
+  ASSERT_TRUE(first.ok()) << sql << " -> " << first.status().ToString();
+  std::string canonical = (*first)->ToSql();
+  auto second = ParseSql(canonical);
+  ASSERT_TRUE(second.ok()) << canonical << " -> "
+                           << second.status().ToString();
+  EXPECT_EQ((*second)->ToSql(), canonical) << "not a fixpoint for: " << sql;
+  EXPECT_EQ(FingerprintOf(**second).ToKey(), FingerprintOf(**first).ToKey())
+      << "fingerprint drift for: " << sql;
+}
+
+TEST(RoundTripTest, EveryExprKindSurvivesSerialization) {
+  const char* kQueries[] = {
+      // kLiteral: integer, real, exponent, negative, text, NULL.
+      "SELECT 1, 2.5, 1.5e3, -7, 'text', NULL FROM singer",
+      // kColumnRef, bare and qualified.
+      "SELECT name, singer.age FROM singer",
+      // kStar, bare and table-qualified.
+      "SELECT * FROM singer",
+      "SELECT T1.* FROM singer AS T1 JOIN song AS T2 ON T2.singer_id = "
+      "T1.singer_id",
+      // kUnary: NOT, negate, IS NULL, IS NOT NULL.
+      "SELECT name FROM singer WHERE NOT age > 30",
+      "SELECT -age, -(age + 1) FROM singer",
+      "SELECT name FROM singer WHERE age IS NULL",
+      "SELECT name FROM singer WHERE age IS NOT NULL",
+      // kBinary: comparisons, AND/OR nesting, arithmetic, concat, LIKE.
+      "SELECT name FROM singer WHERE age = 30 AND (country = 'USA' OR age "
+      "< 40)",
+      "SELECT (age + 2) * 3 - age / 2 FROM singer",
+      "SELECT name || '_x' FROM singer",
+      "SELECT name FROM singer WHERE name LIKE 'A%'",
+      "SELECT name FROM singer WHERE name NOT LIKE '%z%'",
+      // kFunction: aggregates and scalar functions.
+      "SELECT COUNT(*), COUNT(DISTINCT country), SUM(age), AVG(age), "
+      "MIN(age), MAX(age) FROM singer",
+      "SELECT ABS(-age), ROUND(2.567, 1), LENGTH(name), UPPER(name), "
+      "LOWER(name) FROM singer",
+      // kBetween / NOT BETWEEN.
+      "SELECT name FROM singer WHERE age BETWEEN 25 AND 40",
+      "SELECT name FROM singer WHERE age NOT BETWEEN -5 AND 25",
+      // kInList / NOT IN, with negatives and NULL members.
+      "SELECT name FROM singer WHERE age IN (-1, 30, NULL)",
+      "SELECT name FROM singer WHERE country NOT IN ('USA', 'Peru')",
+      // kInSubquery.
+      "SELECT name FROM singer WHERE singer_id IN (SELECT singer_id FROM "
+      "song WHERE sales > 80.0)",
+      // kScalarSubquery.
+      "SELECT name FROM singer WHERE age > (SELECT MIN(sales) FROM song)",
+      // kCast to every type.
+      "SELECT CAST(age AS REAL), CAST(name AS INTEGER), CAST(age AS TEXT) "
+      "FROM singer",
+      // Clause coverage: join, group/having, order/limit, distinct, set ops.
+      "SELECT T1.name, COUNT(*) FROM singer AS T1 JOIN song AS T2 ON "
+      "T2.singer_id = T1.singer_id GROUP BY T1.name HAVING COUNT(*) > 1 "
+      "ORDER BY COUNT(*) DESC LIMIT 3",
+      "SELECT DISTINCT country FROM singer ORDER BY country",
+      "SELECT name FROM singer UNION SELECT title FROM song",
+      "SELECT country FROM singer INTERSECT SELECT country FROM singer",
+      "SELECT name FROM singer EXCEPT SELECT 'Alice' FROM singer",
+  };
+  for (const char* sql : kQueries) ExpectRoundTrip(sql);
+}
+
+TEST(RoundTripTest, PrecedenceRequiresParentheses) {
+  // (1 + 2) * 3 must keep its parentheses; 1 + 2 * 3 must not grow any.
+  auto grouped = ParseSql("SELECT (1 + 2) * 3 FROM singer");
+  ASSERT_TRUE(grouped.ok());
+  EXPECT_EQ((*grouped)->ToSql(), "SELECT (1 + 2) * 3 FROM singer");
+  auto natural = ParseSql("SELECT 1 + 2 * 3 FROM singer");
+  ASSERT_TRUE(natural.ok());
+  EXPECT_EQ((*natural)->ToSql(), "SELECT 1 + 2 * 3 FROM singer");
+  auto not_and = ParseSql("SELECT 1 FROM singer WHERE NOT (1 = 1 AND 2 = 2)");
+  ASSERT_TRUE(not_and.ok());
+  ExpectRoundTrip((*not_and)->ToSql());
+}
+
+// --------------------------------------------------------- NULL semantics
+
+/// Schema with NULL-heavy data for three-valued-logic tests:
+///   reading(reading_id PK, sensor, level)  — level mostly NULL.
+Database MakeNullDb() {
+  DatabaseSchema schema;
+  schema.name = "nulls";
+  TableDef reading;
+  reading.name = "reading";
+  reading.columns = {
+      {"reading_id", DataType::kInteger, "", true},
+      {"sensor", DataType::kText, "", false},
+      {"level", DataType::kReal, "", false},
+  };
+  schema.tables = {reading};
+  Database db(std::move(schema));
+  auto ins = [&db](int64_t id, Value sensor, Value level) {
+    ASSERT_TRUE(db.Insert("reading", {Value(id), std::move(sensor),
+                                      std::move(level)}).ok());
+  };
+  ins(1, Value("a"), Value(4.0));
+  ins(2, Value("a"), Value());
+  ins(3, Value(), Value());
+  ins(4, Value(), Value(2.0));
+  ins(5, Value("b"), Value());
+  return db;
+}
+
+TEST(NullSemanticsTest, ComparisonsWithNullNeverMatch) {
+  Database db = MakeMusicDb();  // Dave's age is NULL
+  struct Case {
+    const char* where;
+    size_t rows;
+  } kCases[] = {
+      {"age = NULL", 0},          // = NULL is UNKNOWN, never TRUE
+      {"age != NULL", 0},
+      {"NOT age = NULL", 0},      // NOT UNKNOWN is still UNKNOWN
+      {"age < NULL", 0},
+      {"age = 30", 2},
+      {"age = 30 OR age = NULL", 2},     // UNKNOWN OR TRUE = TRUE
+      {"age = 30 AND age = NULL", 0},    // TRUE AND UNKNOWN = UNKNOWN
+      {"age IS NULL", 1},
+      {"age IS NOT NULL", 3},
+      {"age IN (30, NULL)", 2},          // matches still count
+      {"age NOT IN (25, NULL)", 0},      // NULL member poisons NOT IN
+      {"age NOT IN (25, 26)", 3},
+      {"age BETWEEN NULL AND 50", 0},
+  };
+  for (const auto& c : kCases) {
+    std::string sql =
+        std::string("SELECT name FROM singer WHERE ") + c.where;
+    ResultTable r = MustExecute(db, sql);
+    EXPECT_EQ(r.NumRows(), c.rows) << sql;
+  }
+}
+
+TEST(NullSemanticsTest, NullGroupByKeysFormOneGroup) {
+  Database db = MakeNullDb();
+  ResultTable r = MustExecute(
+      db, "SELECT sensor, COUNT(*) FROM reading GROUP BY sensor "
+          "ORDER BY sensor");
+  // Groups: NULL (2 rows), 'a' (2 rows), 'b' (1 row) — NULL sorts first.
+  ASSERT_EQ(r.NumRows(), 3u);
+  EXPECT_TRUE(r.rows[0][0].is_null());
+  EXPECT_EQ(r.rows[0][1].AsInteger(), 2);
+  EXPECT_EQ(r.rows[1][0].AsText(), "a");
+  EXPECT_EQ(r.rows[1][1].AsInteger(), 2);
+  EXPECT_EQ(r.rows[2][0].AsText(), "b");
+  EXPECT_EQ(r.rows[2][1].AsInteger(), 1);
+}
+
+TEST(NullSemanticsTest, AggregatesSkipNullsAndAllNullInputs) {
+  Database db = MakeNullDb();
+  // Only readings 1 and 4 have non-NULL levels (4.0 and 2.0).
+  ResultTable r = MustExecute(
+      db, "SELECT COUNT(*), COUNT(level), SUM(level), AVG(level), "
+          "MIN(level), MAX(level) FROM reading");
+  ASSERT_EQ(r.NumRows(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInteger(), 5);  // COUNT(*) counts NULL rows
+  EXPECT_EQ(r.rows[0][1].AsInteger(), 2);  // COUNT(col) does not
+  EXPECT_DOUBLE_EQ(r.rows[0][2].ToNumeric(), 6.0);
+  EXPECT_DOUBLE_EQ(r.rows[0][3].ToNumeric(), 3.0);
+  EXPECT_DOUBLE_EQ(r.rows[0][4].ToNumeric(), 2.0);
+  EXPECT_DOUBLE_EQ(r.rows[0][5].ToNumeric(), 4.0);
+
+  // Over an all-NULL input set, COUNT is 0 and every other aggregate NULL.
+  ResultTable empty = MustExecute(
+      db, "SELECT COUNT(level), SUM(level), AVG(level), MIN(level), "
+          "MAX(level) FROM reading WHERE sensor = 'b'");
+  ASSERT_EQ(empty.NumRows(), 1u);
+  EXPECT_EQ(empty.rows[0][0].AsInteger(), 0);
+  for (size_t c = 1; c < 5; ++c) {
+    EXPECT_TRUE(empty.rows[0][c].is_null()) << "aggregate column " << c;
+  }
+}
+
+TEST(NullSemanticsTest, OrderByPlacesNullsFirstAscLastDesc) {
+  Database db = MakeNullDb();
+  ResultTable asc =
+      MustExecute(db, "SELECT level FROM reading ORDER BY level");
+  ASSERT_EQ(asc.NumRows(), 5u);
+  EXPECT_TRUE(asc.rows[0][0].is_null());
+  EXPECT_TRUE(asc.rows[1][0].is_null());
+  EXPECT_TRUE(asc.rows[2][0].is_null());
+  EXPECT_DOUBLE_EQ(asc.rows[3][0].ToNumeric(), 2.0);
+  EXPECT_DOUBLE_EQ(asc.rows[4][0].ToNumeric(), 4.0);
+
+  ResultTable desc =
+      MustExecute(db, "SELECT level FROM reading ORDER BY level DESC");
+  EXPECT_DOUBLE_EQ(desc.rows[0][0].ToNumeric(), 4.0);
+  EXPECT_DOUBLE_EQ(desc.rows[1][0].ToNumeric(), 2.0);
+  EXPECT_TRUE(desc.rows[2][0].is_null());
+}
+
+TEST(NullSemanticsTest, NullPropagatesThroughExpressions) {
+  Database db = MakeNullDb();
+  ResultTable r = MustExecute(
+      db, "SELECT level + 1, -level, level || 'x', CAST(level AS INTEGER) "
+          "FROM reading WHERE reading_id = 2");
+  ASSERT_EQ(r.NumRows(), 1u);
+  for (size_t c = 0; c < 4; ++c) {
+    EXPECT_TRUE(r.rows[0][c].is_null()) << "column " << c;
+  }
+}
+
+TEST(NullSemanticsTest, TextNumericCoercionIsDecimalOnly) {
+  // 'Nancy' must coerce to 0.0, not NaN: bare strtod accepts "nan"/"inf"
+  // prefixes, which poisoned comparisons (the fuzzer's rerun oracle caught
+  // this; see tests/fuzz_corpus/engine_bugs.corpus).
+  EXPECT_DOUBLE_EQ(Value("Nancy").ToNumeric(), 0.0);
+  EXPECT_DOUBLE_EQ(Value("Infinity Falls").ToNumeric(), 0.0);
+  EXPECT_DOUBLE_EQ(Value("nan").ToNumeric(), 0.0);
+  EXPECT_DOUBLE_EQ(Value("inf").ToNumeric(), 0.0);
+  EXPECT_DOUBLE_EQ(Value("0x10").ToNumeric(), 0.0);
+  EXPECT_DOUBLE_EQ(Value("  -12.5e1abc").ToNumeric(), -125.0);
+  EXPECT_DOUBLE_EQ(Value(".5z").ToNumeric(), 0.5);
+  EXPECT_DOUBLE_EQ(Value("+3").ToNumeric(), 3.0);
+  EXPECT_DOUBLE_EQ(Value("-").ToNumeric(), 0.0);
+  EXPECT_DOUBLE_EQ(Value("").ToNumeric(), 0.0);
 }
 
 }  // namespace
