@@ -11,11 +11,14 @@
 // to the hardware thread count (prediction is CPU-bound and share-nothing
 // after the retriever cache warms).
 
+#include <algorithm>
 #include <cstdio>
 
 #include <set>
+#include <vector>
 
 #include "bench/bench_common.h"
+#include "common/failpoint.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/model_zoo.h"
@@ -65,6 +68,111 @@ void ThroughputSection(const Text2SqlBenchmark& bench,
   std::printf(
       "\nEX%% must be identical on every row: the driver shards "
       "deterministically and merges in sample order.\n");
+}
+
+/// Unguarded Predict vs PredictGuarded with an *active* guard (generous
+/// budgets, so every check runs but nothing trips). The robustness layer's
+/// contract is <= 2% overhead for guard-enabled serving.
+void GuardOverheadSection(const Text2SqlBenchmark& bench,
+                          const CodesPipeline& pipeline, int queries) {
+  bench::Banner("Guard overhead: Predict vs guarded serving (7B SFT)");
+
+  ServeOptions guarded;
+  guarded.limits.max_rows = 50'000'000;
+  guarded.limits.max_bytes = static_cast<size_t>(1) << 40;
+  guarded.limits.max_depth = 64;
+  CancelToken token;  // never cancelled; forces the token check too
+  guarded.cancel = &token;
+
+  auto run_free = [&]() {
+    Timer timer;
+    int n = 0;
+    while (n < queries) {
+      for (const auto& sample : bench.dev) {
+        if (n >= queries) break;
+        (void)pipeline.Predict(bench, sample);
+        ++n;
+      }
+    }
+    return timer.ElapsedSeconds();
+  };
+  auto run_guarded = [&]() {
+    Timer timer;
+    int n = 0;
+    while (n < queries) {
+      for (const auto& sample : bench.dev) {
+        if (n >= queries) break;
+        (void)pipeline.PredictGuarded(bench, sample, guarded);
+        ++n;
+      }
+    }
+    return timer.ElapsedSeconds();
+  };
+
+  // Interleave three repetitions of each and keep the fastest, so ambient
+  // machine noise does not masquerade as guard cost.
+  double best_free = run_free();
+  double best_guarded = run_guarded();
+  for (int rep = 1; rep < 3; ++rep) {
+    best_free = std::min(best_free, run_free());
+    best_guarded = std::min(best_guarded, run_guarded());
+  }
+  double overhead_pct = 100.0 * (best_guarded - best_free) / best_free;
+
+  bench::TablePrinter table({22, 12, 14});
+  table.Row({"path", "seconds", "ms / sample"});
+  table.Separator();
+  table.Row({"Predict (no guard)", FormatDouble(best_free, 3),
+             FormatDouble(1000.0 * best_free / queries, 3)});
+  table.Row({"PredictGuarded", FormatDouble(best_guarded, 3),
+             FormatDouble(1000.0 * best_guarded / queries, 3)});
+  std::printf("\nguard overhead: %+.2f%% (budget: <= 2%%)\n", overhead_pct);
+}
+
+/// Per-request latency distribution with every failpoint armed at 1%:
+/// the repair loop and fallback rungs should fatten the tail, not the
+/// median.
+void ChaosTailLatencySection(const Text2SqlBenchmark& bench,
+                             const CodesPipeline& pipeline, int queries) {
+  bench::Banner("Tail latency under 1% fault injection (7B SFT)");
+
+  ServeOptions options;
+  options.limits.max_rows = 20000;
+
+  auto percentile = [](std::vector<double>& ms, double p) {
+    size_t idx = static_cast<size_t>(p * (ms.size() - 1));
+    return ms[idx];
+  };
+  bench::TablePrinter table({16, 10, 10, 10, 10});
+  table.Row({"faults", "p50 ms", "p95 ms", "p99 ms", "max ms"});
+  table.Separator();
+  for (bool inject : {false, true}) {
+    if (inject) {
+      CODES_CHECK(Failpoints::Configure("*=prob:0.01", 7).ok());
+    }
+    std::vector<double> ms;
+    ms.reserve(queries);
+    int n = 0;
+    while (n < queries) {
+      for (const auto& sample : bench.dev) {
+        if (n >= queries) break;
+        Timer timer;
+        (void)pipeline.PredictGuarded(bench, sample, options);
+        ms.push_back(1000.0 * timer.ElapsedSeconds());
+        ++n;
+      }
+    }
+    std::sort(ms.begin(), ms.end());
+    table.Row({inject ? "*=prob:0.01" : "none",
+               FormatDouble(percentile(ms, 0.50), 2),
+               FormatDouble(percentile(ms, 0.95), 2),
+               FormatDouble(percentile(ms, 0.99), 2),
+               FormatDouble(ms.back(), 2)});
+  }
+  Failpoints::Clear();
+  std::printf(
+      "\nfaulted requests pay for fallback prompt rebuilds and repair "
+      "re-executions; the clean median must not move.\n");
 }
 
 void Run() {
@@ -125,6 +233,8 @@ void Run() {
     pipeline.TrainClassifier(spider);
     pipeline.FineTune(spider);
     ThroughputSection(spider, pipeline, /*samples=*/200);
+    GuardOverheadSection(spider, pipeline, /*queries=*/300);
+    ChaosTailLatencySection(spider, pipeline, /*queries=*/500);
   }
 }
 

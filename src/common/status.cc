@@ -18,6 +18,12 @@ const char* StatusCodeName(StatusCode code) {
       return "ExecutionError";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kTimeout:
+      return "Timeout";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

@@ -11,6 +11,14 @@ namespace codes {
 
 /// Error category for a failed operation. Mirrors the small set of failure
 /// modes the library can produce; `kOk` means success.
+///
+/// The first block is the data-dependent taxonomy (bad input, bad SQL).
+/// The second block — kTimeout / kCancelled / kResourceExhausted — is the
+/// *guard* taxonomy introduced with ExecGuard (common/exec_guard.h): these
+/// mean the operation itself may have been fine but a serving-side budget
+/// ended it early. Degradation logic treats the two blocks differently:
+/// a kParseError prediction is wrong, a kTimeout prediction is merely
+/// unverified.
 enum class StatusCode {
   kOk = 0,
   kInvalidArgument,
@@ -19,6 +27,9 @@ enum class StatusCode {
   kBindError,       ///< SQL parsed but references unknown schema objects.
   kExecutionError,  ///< SQL bound but failed while executing.
   kInternal,
+  kTimeout,            ///< a wall-clock deadline expired mid-operation.
+  kCancelled,          ///< a CancelToken was triggered (possibly remotely).
+  kResourceExhausted,  ///< a row/byte/depth budget was exceeded.
 };
 
 /// Returns a short human-readable name for `code` (e.g. "ParseError").
@@ -52,6 +63,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -124,6 +144,35 @@ class Result {
 
   std::variant<T, Status> data_;
 };
+
+/// Propagates a non-OK Status out of the enclosing function (which must
+/// return Status or Result<T>). Replaces hand-rolled
+/// `Status s = Op(); if (!s.ok()) return s;` chains.
+#define CODES_RETURN_IF_ERROR(expr)                \
+  do {                                             \
+    ::codes::Status codes_status_tmp_ = (expr);    \
+    if (!codes_status_tmp_.ok()) {                 \
+      return codes_status_tmp_;                    \
+    }                                              \
+  } while (0)
+
+#define CODES_MACRO_CONCAT_INNER_(x, y) x##y
+#define CODES_MACRO_CONCAT_(x, y) CODES_MACRO_CONCAT_INNER_(x, y)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the Status out of the
+/// enclosing function, otherwise move-assigns the value into `lhs`. `lhs`
+/// may declare a new variable (`CODES_ASSIGN_OR_RETURN(auto v, Op())`) or
+/// name an existing lvalue. At most one use per source line.
+#define CODES_ASSIGN_OR_RETURN(lhs, rexpr) \
+  CODES_ASSIGN_OR_RETURN_IMPL_(            \
+      CODES_MACRO_CONCAT_(codes_result_tmp_, __LINE__), lhs, rexpr)
+
+#define CODES_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                                 \
+  if (!result.ok()) {                                    \
+    return result.status();                              \
+  }                                                      \
+  lhs = std::move(result).value()
 
 /// CHECK-style invariant macro: aborts with a message when `cond` is false.
 /// Used for programmer errors, never for data-dependent failures.

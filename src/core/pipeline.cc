@@ -1,9 +1,13 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <chrono>
 #include <mutex>
+#include <thread>
 
+#include "common/failpoint.h"
 #include "common/rng.h"
+#include "sqlengine/executor.h"
 
 namespace codes {
 
@@ -26,7 +30,50 @@ int DemoTokenCost(const Text2SqlSample& sample) {
          CountPromptTokens(sample.sql) + 4;
 }
 
+/// The bottom of the ladder: a trivial query that is syntactically valid
+/// against `db`, served only when every beam candidate is unusable.
+std::string EmergencySql(const sql::Database& db) {
+  if (db.schema().tables.empty()) return "SELECT 1";
+  return "SELECT * FROM " + db.schema().tables[0].name + " LIMIT 1";
+}
+
 }  // namespace
+
+const char* ServeRungName(ServeRung rung) {
+  switch (rung) {
+    case ServeRung::kClassifierFallback:
+      return "classifier_fallback";
+    case ServeRung::kValueFallback:
+      return "value_fallback";
+    case ServeRung::kRepair:
+      return "repair";
+    case ServeRung::kEmergencySql:
+      return "emergency_sql";
+  }
+  return "unknown";
+}
+
+void ServeReport::AddRung(ServeRung rung) {
+  if (!Fired(rung)) rungs.push_back(rung);
+}
+
+bool ServeReport::Fired(ServeRung rung) const {
+  return std::find(rungs.begin(), rungs.end(), rung) != rungs.end();
+}
+
+std::string ServeReport::ToString() const {
+  std::string out = "rungs=[";
+  for (size_t i = 0; i < rungs.size(); ++i) {
+    if (i > 0) out += ",";
+    out += ServeRungName(rungs[i]);
+  }
+  out += "] repairs=" + std::to_string(repair_attempts);
+  out += " rank=" + std::to_string(candidate_rank);
+  out += execution_verified ? " verified" : " unverified";
+  out += " status=";
+  out += StatusCodeName(final_status.code());
+  return out;
+}
 
 CodesPipeline::CodesPipeline(const PipelineConfig& config, const NgramLm* lm)
     : config_(config), model_(config.size, lm) {
@@ -73,7 +120,19 @@ void CodesPipeline::SetDemonstrationPool(
 
 const ValueRetriever* CodesPipeline::RetrieverFor(
     const sql::Database& db) const {
+  return RetrieverForGuarded(db, nullptr, nullptr);
+}
+
+const ValueRetriever* CodesPipeline::RetrieverForGuarded(
+    const sql::Database& db, ExecGuard* guard, ServeReport* report) const {
   if (!config_.prompt.use_value_retriever) return nullptr;
+  // The failpoint is evaluated exactly once per call, before the cache is
+  // consulted: whether this request finds a warm cache depends on thread
+  // scheduling, and fault decisions must not.
+  if (Failpoints::ShouldFail(FailpointSite::kValueRetrieverBuildIndex)) {
+    if (report != nullptr) report->AddRung(ServeRung::kValueFallback);
+    return nullptr;
+  }
   {
     std::shared_lock<std::shared_mutex> lock(retriever_mu_);
     auto it = retriever_cache_.find(&db);
@@ -83,7 +142,15 @@ const ValueRetriever* CodesPipeline::RetrieverFor(
   // index in parallel; on a same-database race the first insert wins and
   // the loser's copy is discarded.
   auto retriever = std::make_unique<ValueRetriever>();
-  retriever->BuildIndex(db);
+  Status built =
+      retriever->TryBuildIndex(db, guard, /*check_failpoint=*/false);
+  if (!built.ok()) {
+    // Over-budget or cancelled mid-build: degrade this request to a prompt
+    // without values and leave the cache empty so a healthy request can
+    // build it fully later.
+    if (report != nullptr) report->AddRung(ServeRung::kValueFallback);
+    return nullptr;
+  }
   std::unique_lock<std::shared_mutex> lock(retriever_mu_);
   auto [it, inserted] = retriever_cache_.try_emplace(&db, std::move(retriever));
   return it->second.get();
@@ -100,6 +167,12 @@ std::string CodesPipeline::QuestionWithEk(
 
 DatabasePrompt CodesPipeline::BuildPrompt(const Text2SqlBenchmark& bench,
                                           const Text2SqlSample& sample) const {
+  return BuildPromptInternal(bench, sample, nullptr, nullptr);
+}
+
+DatabasePrompt CodesPipeline::BuildPromptInternal(
+    const Text2SqlBenchmark& bench, const Text2SqlSample& sample,
+    ExecGuard* guard, ServeReport* report) const {
   const sql::Database& db = bench.DbOf(sample);
   std::string question = QuestionWithEk(sample);
 
@@ -114,23 +187,30 @@ DatabasePrompt CodesPipeline::BuildPrompt(const Text2SqlBenchmark& bench,
         options.max_prompt_tokens - config_.icl_shots * mean_demo_cost_);
   }
 
-  PromptBuilder builder(classifier_.get(), options);
-  return builder.Build(db, question, RetrieverFor(db));
-}
-
-std::string CodesPipeline::Predict(const Text2SqlBenchmark& bench,
-                                   const Text2SqlSample& sample) const {
-  const sql::Database& db = bench.DbOf(sample);
-  DatabasePrompt prompt = BuildPrompt(bench, sample);
-
-  GenerationInput input;
-  input.db = &db;
-  input.prompt = &prompt;
-  input.question = sample.question;
-  if (config_.use_external_knowledge) {
-    input.external_knowledge = sample.external_knowledge;
+  // Ladder rung 1: classifier unavailable (never trained/shared) or
+  // failing (injected fault) — fall back to the full, unfiltered schema.
+  // PromptBuilder already keeps everything when the classifier is null, so
+  // flipping the flag here is byte-identical on the clean path; the flip
+  // exists to record the rung and to cover the injected-fault case.
+  if (options.use_schema_filter &&
+      (classifier_ == nullptr ||
+       Failpoints::ShouldFail(FailpointSite::kClassifierScore))) {
+    options.use_schema_filter = false;
+    if (report != nullptr) {
+      report->AddRung(ServeRung::kClassifierFallback);
+    }
   }
 
+  // Ladder rung 2 (inside RetrieverForGuarded): value index unavailable —
+  // prompt carries no matched values.
+  const ValueRetriever* retriever = RetrieverForGuarded(db, guard, report);
+
+  PromptBuilder builder(classifier_.get(), options);
+  return builder.Build(db, question, retriever);
+}
+
+std::vector<const Text2SqlSample*> CodesPipeline::CollectDemonstrations(
+    const Text2SqlSample& sample) const {
   std::vector<const Text2SqlSample*> demos;
   if (config_.icl_shots > 0 && !demo_pool_.empty()) {
     if (config_.random_demonstrations || demo_retriever_ == nullptr) {
@@ -145,10 +225,114 @@ std::string CodesPipeline::Predict(const Text2SqlBenchmark& bench,
       }
     }
   }
-  input.demonstrations = std::move(demos);
+  return demos;
+}
 
+std::string CodesPipeline::Predict(const Text2SqlBenchmark& bench,
+                                   const Text2SqlSample& sample) const {
+  return PredictGuarded(bench, sample, ServeOptions());
+}
+
+double CodesPipeline::ComputeBackoffMs(int attempt, double base_ms,
+                                       double cap_ms) {
+  if (base_ms <= 0.0 || attempt < 1) return 0.0;
+  double ms = base_ms;
+  for (int i = 1; i < attempt && ms < cap_ms; ++i) ms *= 2.0;
+  return std::min(ms, cap_ms);
+}
+
+std::string CodesPipeline::PredictGuarded(const Text2SqlBenchmark& bench,
+                                          const Text2SqlSample& sample,
+                                          const ServeOptions& options,
+                                          ServeReport* report) const {
+  ServeReport scratch;
+  ServeReport& rep = report != nullptr ? *report : scratch;
+  rep = ServeReport();
+
+  // The per-sample generation seed doubles as the failpoint slot: it
+  // identifies this request independently of scheduling, so fault
+  // campaigns replay byte-identically at any thread count.
   uint64_t seed = config_.seed ^ HashString(sample.question);
-  return model_.Generate(input, seed);
+  FailpointScope failpoint_scope(seed);
+  ExecGuard guard(options.limits, options.cancel);
+
+  const sql::Database& db = bench.DbOf(sample);
+  DatabasePrompt prompt = BuildPromptInternal(bench, sample, &guard, &rep);
+
+  GenerationInput input;
+  input.db = &db;
+  input.prompt = &prompt;
+  input.question = sample.question;
+  if (config_.use_external_knowledge) {
+    input.external_knowledge = sample.external_knowledge;
+  }
+  input.demonstrations = CollectDemonstrations(sample);
+
+  // Candidate execution happens in the repair loop below, under the
+  // guard; skip the model's own unguarded execution probe.
+  auto beam = model_.GenerateBeam(input, seed, /*mark_executable=*/false);
+
+  // Ladder rung 3: walk the beam in rank order and serve the first
+  // candidate that decodes and executes under the guard. Every failed
+  // candidate is one bounded repair attempt; with no faults and no budgets
+  // this reproduces the paper's first-executable selection exactly.
+  std::string fallback_sql;
+  int fallback_rank = -1;
+  Status last_error;
+  int attempts = 0;
+  for (size_t i = 0; i < beam.size(); ++i) {
+    if (attempts >= options.max_repair_attempts) break;
+    const std::string& sql = beam[i].sql;
+    if (sql.empty()) continue;
+    if (fallback_rank < 0) {
+      fallback_sql = sql;
+      fallback_rank = static_cast<int>(i);
+    }
+    if (attempts > 0) {
+      double ms = ComputeBackoffMs(attempts, options.backoff_base_ms,
+                                   options.backoff_cap_ms);
+      if (ms > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+      }
+    }
+    Status exec_status;
+    if (Failpoints::ShouldFail(FailpointSite::kLmDecode)) {
+      exec_status = Failpoints::FailStatus(FailpointSite::kLmDecode);
+    } else {
+      // Row/byte budgets are per-candidate; the deadline keeps running
+      // across the whole request.
+      guard.ResetUsage();
+      exec_status = sql::ExecuteSql(db, sql, &guard).status();
+    }
+    if (exec_status.ok()) {
+      if (attempts > 0) rep.AddRung(ServeRung::kRepair);
+      rep.repair_attempts = attempts;
+      rep.candidate_rank = static_cast<int>(i);
+      rep.execution_verified = true;
+      rep.final_status = Status::Ok();
+      return sql;
+    }
+    last_error = exec_status;
+    ++attempts;
+  }
+
+  rep.repair_attempts = attempts;
+  if (attempts > 0) rep.AddRung(ServeRung::kRepair);
+  if (fallback_rank >= 0) {
+    // Nothing verified within budget: serve the highest-ranked candidate
+    // unverified, exactly as the unguarded path would.
+    rep.candidate_rank = fallback_rank;
+    rep.final_status = last_error;
+    return fallback_sql;
+  }
+
+  // Ladder rung 4: the beam is empty (or all-blank) — serve a trivial
+  // query rather than nothing.
+  rep.AddRung(ServeRung::kEmergencySql);
+  rep.candidate_rank = -1;
+  rep.final_status =
+      last_error.ok() ? Status::NotFound("empty beam") : last_error;
+  return EmergencySql(db);
 }
 
 SqlPredictor CodesPipeline::PredictorFor(

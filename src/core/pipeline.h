@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/exec_guard.h"
 #include "dataset/sample.h"
 #include "eval/metrics.h"
 #include "generator/codes_model.h"
@@ -32,6 +33,65 @@ struct PipelineConfig {
   /// Extra decode noise for emulating weaker baseline families.
   double extra_model_noise = 0.0;
   uint64_t seed = 99;
+};
+
+/// One rung of the serving degradation ladder, ordered from least to most
+/// degraded. A request's ServeReport records every rung that fired:
+///
+///   kClassifierFallback  schema classifier unavailable or failing — the
+///                        prompt carries the full, unfiltered schema;
+///   kValueFallback       value index build failed or ran over budget —
+///                        the prompt carries no matched values;
+///   kRepair              a beam candidate failed decode/parse/bind/
+///                        guarded-execute and a lower-ranked candidate was
+///                        tried (bounded, with capped exponential backoff);
+///   kEmergencySql        no usable candidate at all — a trivial but
+///                        syntactically valid query is served.
+enum class ServeRung : int {
+  kClassifierFallback = 0,
+  kValueFallback,
+  kRepair,
+  kEmergencySql,
+};
+
+/// Stable snake_case name ("classifier_fallback") for reports and logs.
+const char* ServeRungName(ServeRung rung);
+
+/// Per-request serving knobs. The default options guard nothing and
+/// reproduce Predict's historical behaviour byte-for-byte.
+struct ServeOptions {
+  /// Execution budgets applied to candidate verification (and, for the
+  /// deadline/cancel portion, to value-index construction).
+  ExecLimits limits;
+  /// Optional cooperative cancellation; must outlive the call.
+  const CancelToken* cancel = nullptr;
+  /// Max failed beam candidates tried before giving up on verification.
+  /// Must be >= beam width to preserve the paper's first-executable
+  /// selection exactly.
+  int max_repair_attempts = 16;
+  /// Exponential backoff between repair attempts: attempt k sleeps
+  /// base * 2^(k-1) ms, capped. Base 0 (default) never sleeps.
+  double backoff_base_ms = 0.0;
+  double backoff_cap_ms = 8.0;
+};
+
+/// What happened while serving one request. Never reports failure to
+/// produce SQL — PredictGuarded always returns a non-empty query — but
+/// records how degraded the path to it was.
+struct ServeReport {
+  std::vector<ServeRung> rungs;  ///< fired rungs, deduplicated, in order
+  int repair_attempts = 0;       ///< beam candidates that failed
+  /// Beam rank of the served SQL; -1 means the emergency query.
+  int candidate_rank = -1;
+  /// True when the served SQL executed successfully under the guard.
+  bool execution_verified = false;
+  /// OK when fully verified; otherwise the last error seen on the ladder.
+  Status final_status;
+
+  void AddRung(ServeRung rung);
+  bool Fired(ServeRung rung) const;
+  /// Deterministic one-line rendering (used by the chaos harness digest).
+  std::string ToString() const;
 };
 
 /// The public entry point of the library: owns the model, the schema item
@@ -83,9 +143,26 @@ class CodesPipeline {
   /// Sets the demonstration pool for few-shot ICL.
   void SetDemonstrationPool(const std::vector<Text2SqlSample>& pool);
 
-  /// Predicts SQL for one sample of `bench`.
+  /// Predicts SQL for one sample of `bench`. Equivalent to PredictGuarded
+  /// with default ServeOptions (no budgets, no faults on the clean path).
   std::string Predict(const Text2SqlBenchmark& bench,
                       const Text2SqlSample& sample) const;
+
+  /// Guarded prediction: the full degradation ladder. Always returns a
+  /// non-empty SQL string, no matter which stages fail or run over budget;
+  /// `report` (optional) receives what happened. Establishes the request's
+  /// deterministic failpoint scope from the per-sample generation seed, so
+  /// chaos campaigns replay identically at any thread count. Thread-safe
+  /// under the same contract as Predict.
+  std::string PredictGuarded(const Text2SqlBenchmark& bench,
+                             const Text2SqlSample& sample,
+                             const ServeOptions& options,
+                             ServeReport* report = nullptr) const;
+
+  /// Backoff schedule of the repair loop: attempt k (1-based) sleeps
+  /// min(base * 2^(k-1), cap) milliseconds; 0 when base <= 0. Exposed for
+  /// tests.
+  static double ComputeBackoffMs(int attempt, double base_ms, double cap_ms);
 
   /// Convenience: an eval::SqlPredictor bound to `bench`.
   SqlPredictor PredictorFor(const Text2SqlBenchmark& bench) const;
@@ -106,6 +183,27 @@ class CodesPipeline {
   /// miss. The returned pointer stays valid for the pipeline's lifetime
   /// (map values are heap-allocated and never evicted).
   const ValueRetriever* RetrieverFor(const sql::Database& db) const;
+
+  /// Guarded variant: evaluates the value_retriever.build_index failpoint
+  /// once per call (cache hit or miss — fault decisions must not depend on
+  /// which request built the cache first), polls `guard` during a miss
+  /// build, and returns nullptr with a kValueFallback rung on failure. A
+  /// failed build is never cached, so a later healthy request rebuilds.
+  const ValueRetriever* RetrieverForGuarded(const sql::Database& db,
+                                            ExecGuard* guard,
+                                            ServeReport* report) const;
+
+  /// Shared implementation of BuildPrompt/PredictGuarded: applies the
+  /// classifier and value rungs of the ladder while constructing options.
+  DatabasePrompt BuildPromptInternal(const Text2SqlBenchmark& bench,
+                                     const Text2SqlSample& sample,
+                                     ExecGuard* guard,
+                                     ServeReport* report) const;
+
+  /// ICL demonstrations for `sample` (empty unless icl_shots > 0).
+  std::vector<const Text2SqlSample*> CollectDemonstrations(
+      const Text2SqlSample& sample) const;
+
   std::string QuestionWithEk(const Text2SqlSample& sample) const;
 
   PipelineConfig config_;

@@ -316,7 +316,7 @@ double CodesModel::TemplateScore(int template_id,
 }
 
 std::vector<ScoredCandidate> CodesModel::GenerateBeam(
-    const GenerationInput& input, uint64_t seed) const {
+    const GenerationInput& input, uint64_t seed, bool mark_executable) const {
   const TemplateLibrary& lib = GlobalTemplates();
   const sql::Database& db = *input.db;
   const DatabasePrompt& prompt = *input.prompt;
@@ -624,8 +624,10 @@ std::vector<ScoredCandidate> CodesModel::GenerateBeam(
   if (beam.size() > static_cast<size_t>(profile_.beam_width)) {
     beam.resize(static_cast<size_t>(profile_.beam_width));
   }
-  for (auto& cand : beam) {
-    cand.executable = sql::IsExecutable(db, cand.sql);
+  if (mark_executable) {
+    for (auto& cand : beam) {
+      cand.executable = sql::IsExecutable(db, cand.sql);
+    }
   }
   return beam;
 }

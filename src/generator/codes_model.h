@@ -77,9 +77,15 @@ class CodesModel {
   /// Generates the final SQL for `input` (first executable beam entry).
   std::string Generate(const GenerationInput& input, uint64_t seed) const;
 
-  /// Full beam, for diagnostics and tests.
+  /// Full beam, for diagnostics, tests, and guarded serving. When
+  /// `mark_executable` is false the per-candidate execution probe is
+  /// skipped (candidates keep `executable = false`); callers that execute
+  /// candidates themselves — the pipeline's guarded repair loop — use this
+  /// to avoid paying for every candidate's execution twice. Ranking is
+  /// unaffected: candidates are scored and ordered before marking.
   std::vector<ScoredCandidate> GenerateBeam(const GenerationInput& input,
-                                            uint64_t seed) const;
+                                            uint64_t seed,
+                                            bool mark_executable = true) const;
 
  private:
   struct TemplateAnchor {

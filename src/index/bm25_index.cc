@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/failpoint.h"
 #include "common/status.h"
 #include "text/tokenize.h"
 
@@ -53,6 +54,10 @@ void Bm25Index::Finalize() {
 std::vector<Bm25Hit> Bm25Index::Query(std::string_view query,
                                       int top_k) const {
   CODES_CHECK(finalized_);
+  // An injected lookup failure degrades to "no coarse candidates": the
+  // value retriever then matches nothing and the prompt carries no values,
+  // which is exactly the production behaviour when a search backend is out.
+  if (Failpoints::ShouldFail(FailpointSite::kBm25Lookup)) return {};
   std::unordered_map<int, double> scores;
   auto terms = Analyze(query);
   // Deduplicate query terms; repeated terms in short queries add noise.

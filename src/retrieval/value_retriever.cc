@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 #include "text/similarity.h"
 #include "text/tokenize.h"
@@ -25,13 +26,32 @@ bool ShortValueMatches(const std::string& value, const std::string& question) {
 }  // namespace
 
 void ValueRetriever::BuildIndex(const sql::Database& db) {
+  // Unguarded construction cannot fail; the status is guard/failpoint-only.
+  (void)TryBuildIndex(db, nullptr, /*check_failpoint=*/false);
+}
+
+Status ValueRetriever::TryBuildIndex(const sql::Database& db, ExecGuard* guard,
+                                     bool check_failpoint) {
   entries_.clear();
   index_ = Bm25Index();
+  if (check_failpoint &&
+      Failpoints::ShouldFail(FailpointSite::kValueRetrieverBuildIndex)) {
+    return Failpoints::FailStatus(FailpointSite::kValueRetrieverBuildIndex);
+  }
   // Deduplicate identical (value, table, column) triples: repeated
   // categorical values would otherwise bloat the index.
   std::unordered_set<std::string> seen;
-  db.ForEachTextValue([this, &seen](int t, int c, int /*row*/,
-                                    const std::string& text) {
+  Status scan_status;
+  size_t scanned = 0;
+  db.ForEachTextValue([this, &seen, &scan_status, &scanned, guard](
+                          int t, int c, int /*row*/, const std::string& text) {
+    if (!scan_status.ok()) return;
+    // Poll the guard every 256 values: a blown deadline or a cancel aborts
+    // the build, and the pipeline degrades to a prompt without values.
+    if (guard != nullptr && (++scanned & 0xFF) == 0) {
+      scan_status = guard->Check();
+      if (!scan_status.ok()) return;
+    }
     if (text.empty()) return;
     std::string key =
         std::to_string(t) + "|" + std::to_string(c) + "|" + ToLower(text);
@@ -39,7 +59,13 @@ void ValueRetriever::BuildIndex(const sql::Database& db) {
     entries_.push_back(Entry{text, t, c});
     index_.AddDocument(text);
   });
+  if (!scan_status.ok()) {
+    entries_.clear();
+    index_ = Bm25Index();
+    return scan_status;
+  }
   index_.Finalize();
+  return Status::Ok();
 }
 
 std::vector<RetrievedValue> ValueRetriever::FineRank(

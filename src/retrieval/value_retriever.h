@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "common/exec_guard.h"
+#include "common/status.h"
 #include "index/bm25_index.h"
 #include "sqlengine/database.h"
 
@@ -30,6 +32,17 @@ class ValueRetriever {
   /// outlive retrieval only if you plan to re-index; retrieved values are
   /// self-contained copies.
   void BuildIndex(const sql::Database& db);
+
+  /// Guarded index construction for the serving path. `guard`, when
+  /// non-null, is polled for cancellation/deadline while values are
+  /// scanned (row/byte budgets are not charged — those belong to SQL
+  /// execution). `check_failpoint` controls whether this call evaluates
+  /// the value_retriever.build_index failpoint itself; the pipeline passes
+  /// false because it evaluates that site once per request, cache hit or
+  /// miss, to keep fault decisions independent of cache state. On failure
+  /// the retriever is left empty and safe to discard or rebuild.
+  Status TryBuildIndex(const sql::Database& db, ExecGuard* guard = nullptr,
+                       bool check_failpoint = true);
 
   /// Number of distinct indexed values.
   size_t NumIndexedValues() const { return entries_.size(); }

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 #include "sqlengine/parser.h"
 
@@ -14,8 +15,18 @@ namespace codes::sql {
 namespace {
 
 /// Hard cap on intermediate row counts; exceeding it aborts execution with
-/// an error instead of consuming unbounded memory.
+/// an error instead of consuming unbounded memory. ExecGuard budgets are
+/// per-request and usually far tighter; this is the engine's own backstop.
 constexpr size_t kMaxIntermediateRows = 4'000'000;
+
+/// The executor.step failpoint is evaluated once per statement and then
+/// once per this many materialized rows, so an injected fault can land
+/// mid-scan without the disabled-registry check costing anything per row.
+constexpr size_t kStepFailpointStride = 1024;
+
+/// One row in this many has its text payload measured exactly for byte
+/// budgeting; the sample is scaled to cover the stride.
+constexpr size_t kByteSampleStride = 8;
 
 /// One entry of the FROM-clause scope: a bound table occurrence.
 struct ScopeEntry {
@@ -114,31 +125,58 @@ struct RowEq {
 
 class SelectRunner {
  public:
-  SelectRunner(const Database& db, const SelectStatement& stmt)
-      : db_(db), stmt_(stmt) {}
+  SelectRunner(const Database& db, const SelectStatement& stmt,
+               ExecGuard* guard)
+      : db_(db), stmt_(stmt), guard_(guard) {}
 
   Result<ResultTable> Run() {
-    Status s = BuildScope();
-    if (!s.ok()) return s;
-    s = ExpandStars();
-    if (!s.ok()) return s;
-    s = RewriteAliasRefs();
-    if (!s.ok()) return s;
-    s = ResolveAll();
-    if (!s.ok()) return s;
-    auto rows = ProduceJoinedRows();
-    if (!rows.ok()) return rows.status();
-    return Project(std::move(rows).value());
+    if (Failpoints::ShouldFail(FailpointSite::kExecutorStep)) {
+      return Failpoints::FailStatus(FailpointSite::kExecutorStep);
+    }
+    if (guard_ != nullptr) CODES_RETURN_IF_ERROR(guard_->Check());
+    CODES_RETURN_IF_ERROR(BuildScope());
+    CODES_RETURN_IF_ERROR(ExpandStars());
+    CODES_RETURN_IF_ERROR(RewriteAliasRefs());
+    CODES_RETURN_IF_ERROR(ResolveAll());
+    CODES_ASSIGN_OR_RETURN(std::vector<Row> rows, ProduceJoinedRows());
+    return Project(std::move(rows));
   }
 
  private:
+  // -------------------------------------------------------- guard charging
+  /// Approximate heap footprint of one materialized row: per-cell Value
+  /// storage plus text payloads (an estimate, not allocator-exact).
+  static size_t ApproxRowBytes(const Row& row) {
+    size_t bytes = row.size() * sizeof(Value);
+    for (const auto& v : row) {
+      if (v.is_text()) bytes += v.AsText().size();
+    }
+    return bytes;
+  }
+
+  /// Charges one materialized row against the guard and periodically
+  /// evaluates the executor.step failpoint. Text payloads are sampled —
+  /// every kByteSampleStride-th row is inspected exactly and scaled — so
+  /// byte budgeting stays an O(1)-per-row estimate instead of a per-cell
+  /// variant walk.
+  Status ChargeRow(const Row& row) {
+    if (++step_rows_ % kStepFailpointStride == 0 &&
+        Failpoints::ShouldFail(FailpointSite::kExecutorStep)) {
+      return Failpoints::FailStatus(FailpointSite::kExecutorStep);
+    }
+    if (guard_ == nullptr) return Status::Ok();
+    size_t bytes = 0;
+    if (guard_->tracks_bytes() && step_rows_ % kByteSampleStride == 0) {
+      bytes = ApproxRowBytes(row) * kByteSampleStride;
+    }
+    return guard_->ChargeRow(bytes);
+  }
+
   // ---------------------------------------------------------------- setup
   Status BuildScope() {
-    Status s = scope_.AddTable(db_, stmt_.from);
-    if (!s.ok()) return s;
+    CODES_RETURN_IF_ERROR(scope_.AddTable(db_, stmt_.from));
     for (const auto& join : stmt_.joins) {
-      s = scope_.AddTable(db_, join.table);
-      if (!s.ok()) return s;
+      CODES_RETURN_IF_ERROR(scope_.AddTable(db_, join.table));
     }
     return Status::Ok();
   }
@@ -214,28 +252,25 @@ class SelectRunner {
       return Status::Ok();
     };
     for (auto& o : const_cast<std::vector<OrderItem>&>(stmt_.order_by)) {
-      Status s = rewrite(o.expr);
-      if (!s.ok()) return s;
+      CODES_RETURN_IF_ERROR(rewrite(o.expr));
     }
     for (auto& g :
          const_cast<std::vector<std::unique_ptr<Expr>>&>(stmt_.group_by)) {
-      Status s = rewrite(g);
-      if (!s.ok()) return s;
+      CODES_RETURN_IF_ERROR(rewrite(g));
     }
     if (stmt_.having) {
       // Aliases inside HAVING are rewritten recursively at the top level
       // only; nested alias uses are rare in benchmark SQL.
-      Status s = rewrite(const_cast<std::unique_ptr<Expr>&>(stmt_.having));
-      if (!s.ok()) return s;
+      CODES_RETURN_IF_ERROR(
+          rewrite(const_cast<std::unique_ptr<Expr>&>(stmt_.having)));
     }
     return Status::Ok();
   }
 
   Status ResolveExpr(const Expr& e) {
     if (e.kind == ExprKind::kColumnRef) {
-      auto idx = scope_.ResolveColumn(db_, e.table, e.column);
-      if (!idx.ok()) return idx.status();
-      e.resolved_index = *idx;
+      CODES_ASSIGN_OR_RETURN(e.resolved_index,
+                             scope_.ResolveColumn(db_, e.table, e.column));
       return Status::Ok();
     }
     if (e.kind == ExprKind::kInSubquery || e.kind == ExprKind::kScalarSubquery) {
@@ -243,38 +278,31 @@ class SelectRunner {
       // in subquery_cache_ at evaluation time.
     }
     for (const auto& child : e.children) {
-      Status s = ResolveExpr(*child);
-      if (!s.ok()) return s;
+      CODES_RETURN_IF_ERROR(ResolveExpr(*child));
     }
     return Status::Ok();
   }
 
   Status ResolveAll() {
     for (const auto& item : select_list()) {
-      Status s = ResolveExpr(*item.expr);
-      if (!s.ok()) return s;
+      CODES_RETURN_IF_ERROR(ResolveExpr(*item.expr));
     }
     for (const auto& join : stmt_.joins) {
       if (join.condition) {
-        Status s = ResolveExpr(*join.condition);
-        if (!s.ok()) return s;
+        CODES_RETURN_IF_ERROR(ResolveExpr(*join.condition));
       }
     }
     if (stmt_.where) {
-      Status s = ResolveExpr(*stmt_.where);
-      if (!s.ok()) return s;
+      CODES_RETURN_IF_ERROR(ResolveExpr(*stmt_.where));
     }
     for (const auto& g : stmt_.group_by) {
-      Status s = ResolveExpr(*g);
-      if (!s.ok()) return s;
+      CODES_RETURN_IF_ERROR(ResolveExpr(*g));
     }
     if (stmt_.having) {
-      Status s = ResolveExpr(*stmt_.having);
-      if (!s.ok()) return s;
+      CODES_RETURN_IF_ERROR(ResolveExpr(*stmt_.having));
     }
     for (const auto& o : stmt_.order_by) {
-      Status s = ResolveExpr(*o.expr);
-      if (!s.ok()) return s;
+      CODES_RETURN_IF_ERROR(ResolveExpr(*o.expr));
     }
     return Status::Ok();
   }
@@ -288,7 +316,10 @@ class SelectRunner {
     {
       const Table& t = db_.TableAt(entries[0].table_index);
       current.reserve(t.rows.size());
-      for (const auto& row : t.rows) current.push_back(row);
+      for (const auto& row : t.rows) {
+        current.push_back(row);
+        CODES_RETURN_IF_ERROR(ChargeRow(current.back()));
+      }
     }
     int current_width =
         static_cast<int>(db_.schema().tables[entries[0].table_index].columns.size());
@@ -342,6 +373,7 @@ class SelectRunner {
             Row combined = lrow;
             combined.insert(combined.end(), rrow.begin(), rrow.end());
             next.push_back(std::move(combined));
+            CODES_RETURN_IF_ERROR(ChargeRow(next.back()));
             if (next.size() > kMaxIntermediateRows) {
               return Status::ExecutionError("join result too large");
             }
@@ -354,11 +386,11 @@ class SelectRunner {
             Row combined = lrow;
             combined.insert(combined.end(), rrow.begin(), rrow.end());
             if (join.condition) {
-              auto v = Eval(*join.condition, combined);
-              if (!v.ok()) return v.status();
-              if (!Truthy(*v)) continue;
+              CODES_ASSIGN_OR_RETURN(Value v, Eval(*join.condition, combined));
+              if (!Truthy(v)) continue;
             }
             next.push_back(std::move(combined));
+            CODES_RETURN_IF_ERROR(ChargeRow(next.back()));
             if (next.size() > kMaxIntermediateRows) {
               return Status::ExecutionError("join result too large");
             }
@@ -374,9 +406,8 @@ class SelectRunner {
       std::vector<Row> filtered;
       filtered.reserve(current.size());
       for (auto& row : current) {
-        auto v = Eval(*stmt_.where, row);
-        if (!v.ok()) return v.status();
-        if (Truthy(*v)) filtered.push_back(std::move(row));
+        CODES_ASSIGN_OR_RETURN(Value v, Eval(*stmt_.where, row));
+        if (Truthy(v)) filtered.push_back(std::move(row));
       }
       current = std::move(filtered);
     }
@@ -424,23 +455,22 @@ class SelectRunner {
       case ExprKind::kStar:
         return Status::ExecutionError("'*' outside COUNT(*)");
       case ExprKind::kUnary: {
-        auto inner = Eval(*e.children[0], row);
-        if (!inner.ok()) return inner.status();
+        CODES_ASSIGN_OR_RETURN(Value inner, Eval(*e.children[0], row));
         switch (e.unary_op) {
           case UnaryOp::kNot:
-            if (inner->is_null()) return Value();
-            return Value(static_cast<int64_t>(Truthy(*inner) ? 0 : 1));
+            if (inner.is_null()) return Value();
+            return Value(static_cast<int64_t>(Truthy(inner) ? 0 : 1));
           case UnaryOp::kNegate:
-            if (inner->is_null()) return Value();
-            if (inner->is_integer() &&
-                inner->AsInteger() != std::numeric_limits<int64_t>::min()) {
-              return Value(-inner->AsInteger());
+            if (inner.is_null()) return Value();
+            if (inner.is_integer() &&
+                inner.AsInteger() != std::numeric_limits<int64_t>::min()) {
+              return Value(-inner.AsInteger());
             }
-            return Value(-inner->ToNumeric());
+            return Value(-inner.ToNumeric());
           case UnaryOp::kIsNull:
-            return Value(static_cast<int64_t>(inner->is_null() ? 1 : 0));
+            return Value(static_cast<int64_t>(inner.is_null() ? 1 : 0));
           case UnaryOp::kIsNotNull:
-            return Value(static_cast<int64_t>(inner->is_null() ? 0 : 1));
+            return Value(static_cast<int64_t>(inner.is_null() ? 0 : 1));
         }
         return Value();
       }
@@ -449,46 +479,40 @@ class SelectRunner {
       case ExprKind::kFunction:
         return EvalFunction(e, row);
       case ExprKind::kBetween: {
-        auto v = Eval(*e.children[0], row);
-        if (!v.ok()) return v.status();
-        auto lo = Eval(*e.children[1], row);
-        if (!lo.ok()) return lo.status();
-        auto hi = Eval(*e.children[2], row);
-        if (!hi.ok()) return hi.status();
-        if (v->is_null() || lo->is_null() || hi->is_null()) return Value();
-        bool in_range = v->Compare(*lo) >= 0 && v->Compare(*hi) <= 0;
+        CODES_ASSIGN_OR_RETURN(Value v, Eval(*e.children[0], row));
+        CODES_ASSIGN_OR_RETURN(Value lo, Eval(*e.children[1], row));
+        CODES_ASSIGN_OR_RETURN(Value hi, Eval(*e.children[2], row));
+        if (v.is_null() || lo.is_null() || hi.is_null()) return Value();
+        bool in_range = v.Compare(lo) >= 0 && v.Compare(hi) <= 0;
         if (e.negated) in_range = !in_range;
         return Value(static_cast<int64_t>(in_range ? 1 : 0));
       }
       case ExprKind::kInList: {
-        auto v = Eval(*e.children[0], row);
-        if (!v.ok()) return v.status();
-        if (v->is_null()) return Value();
-        return InResult(*v, e.in_list, e.negated);
+        CODES_ASSIGN_OR_RETURN(Value v, Eval(*e.children[0], row));
+        if (v.is_null()) return Value();
+        return InResult(v, e.in_list, e.negated);
       }
       case ExprKind::kInSubquery: {
-        auto v = Eval(*e.children[0], row);
-        if (!v.ok()) return v.status();
-        if (v->is_null()) return Value();
-        auto sub = SubqueryValues(e);
-        if (!sub.ok()) return sub.status();
-        return InResult(*v, **sub, e.negated);
+        CODES_ASSIGN_OR_RETURN(Value v, Eval(*e.children[0], row));
+        if (v.is_null()) return Value();
+        CODES_ASSIGN_OR_RETURN(const std::vector<Value>* sub,
+                               SubqueryValues(e));
+        return InResult(v, *sub, e.negated);
       }
       case ExprKind::kScalarSubquery: {
-        auto sub = SubqueryValues(e);
-        if (!sub.ok()) return sub.status();
-        if ((*sub)->empty()) return Value();
-        return (**sub)[0];
+        CODES_ASSIGN_OR_RETURN(const std::vector<Value>* sub,
+                               SubqueryValues(e));
+        if (sub->empty()) return Value();
+        return (*sub)[0];
       }
       case ExprKind::kCast: {
-        auto v = Eval(*e.children[0], row);
-        if (!v.ok()) return v.status();
-        if (v->is_null()) return Value();
+        CODES_ASSIGN_OR_RETURN(Value v, Eval(*e.children[0], row));
+        if (v.is_null()) return Value();
         switch (e.cast_type) {
           case DataType::kInteger: {
             // Out-of-range double→int64 conversion is UB; saturate like a
             // checked cast instead.
-            double d = v->ToNumeric();
+            double d = v.ToNumeric();
             if (std::isnan(d)) return Value(static_cast<int64_t>(0));
             if (d >= 9223372036854775808.0) {  // 2^63
               return Value(std::numeric_limits<int64_t>::max());
@@ -499,9 +523,9 @@ class SelectRunner {
             return Value(static_cast<int64_t>(d));
           }
           case DataType::kReal:
-            return Value(v->ToNumeric());
+            return Value(v.ToNumeric());
           case DataType::kText:
-            return Value(v->ToString());
+            return Value(v.ToString());
         }
         return Value();
       }
@@ -512,14 +536,12 @@ class SelectRunner {
   Result<Value> EvalBinary(const Expr& e, const Row& row) {
     // Short-circuit logic with SQLite-style NULL propagation.
     if (e.binary_op == BinaryOp::kAnd || e.binary_op == BinaryOp::kOr) {
-      auto l = Eval(*e.children[0], row);
-      if (!l.ok()) return l.status();
-      auto r = Eval(*e.children[1], row);
-      if (!r.ok()) return r.status();
-      bool lnull = l->is_null();
-      bool rnull = r->is_null();
-      bool lt = !lnull && Truthy(*l);
-      bool rt = !rnull && Truthy(*r);
+      CODES_ASSIGN_OR_RETURN(Value l, Eval(*e.children[0], row));
+      CODES_ASSIGN_OR_RETURN(Value r, Eval(*e.children[1], row));
+      bool lnull = l.is_null();
+      bool rnull = r.is_null();
+      bool lt = !lnull && Truthy(l);
+      bool rt = !rnull && Truthy(r);
       if (e.binary_op == BinaryOp::kAnd) {
         if ((!lnull && !lt) || (!rnull && !rt)) {
           return Value(static_cast<int64_t>(0));
@@ -532,10 +554,8 @@ class SelectRunner {
       return Value(static_cast<int64_t>(0));
     }
 
-    auto l = Eval(*e.children[0], row);
-    if (!l.ok()) return l.status();
-    auto r = Eval(*e.children[1], row);
-    if (!r.ok()) return r.status();
+    CODES_ASSIGN_OR_RETURN(Value l, Eval(*e.children[0], row));
+    CODES_ASSIGN_OR_RETURN(Value r, Eval(*e.children[1], row));
 
     switch (e.binary_op) {
       case BinaryOp::kEq:
@@ -544,27 +564,27 @@ class SelectRunner {
       case BinaryOp::kLe:
       case BinaryOp::kGt:
       case BinaryOp::kGe: {
-        if (l->is_null() || r->is_null()) return Value();
+        if (l.is_null() || r.is_null()) return Value();
         // Text-vs-text compares lexicographically; otherwise numeric.
         int cmp;
-        if (l->is_text() && r->is_text()) {
-          cmp = l->Compare(*r);
-        } else if (l->is_numeric() || r->is_numeric()) {
-          double a = l->ToNumeric();
-          double b = r->ToNumeric();
+        if (l.is_text() && r.is_text()) {
+          cmp = l.Compare(r);
+        } else if (l.is_numeric() || r.is_numeric()) {
+          double a = l.ToNumeric();
+          double b = r.ToNumeric();
           cmp = (a < b) ? -1 : (a > b ? 1 : 0);
           // Equality between text and number also requires exact text match
           // of the numeric rendering to avoid '2009-01-01' == 2009.
-          if (cmp == 0 && l->is_text() != r->is_text()) {
-            const Value& text_side = l->is_text() ? *l : *r;
-            const Value& num_side = l->is_text() ? *r : *l;
+          if (cmp == 0 && l.is_text() != r.is_text()) {
+            const Value& text_side = l.is_text() ? l : r;
+            const Value& num_side = l.is_text() ? r : l;
             if (Trim(text_side.AsText()) != num_side.ToString() &&
                 text_side.ToNumeric() != num_side.ToNumeric()) {
               cmp = 1;
             }
           }
         } else {
-          cmp = l->Compare(*r);
+          cmp = l.Compare(r);
         }
         bool out = false;
         switch (e.binary_op) {
@@ -582,38 +602,38 @@ class SelectRunner {
       case BinaryOp::kSub:
       case BinaryOp::kMul:
       case BinaryOp::kDiv: {
-        if (l->is_null() || r->is_null()) return Value();
-        double a = l->ToNumeric();
-        double b = r->ToNumeric();
-        bool both_int = l->is_integer() && r->is_integer();
+        if (l.is_null() || r.is_null()) return Value();
+        double a = l.ToNumeric();
+        double b = r.ToNumeric();
+        bool both_int = l.is_integer() && r.is_integer();
         // Integer arithmetic widens to REAL on overflow instead of
         // wrapping (signed overflow is UB and trips UBSan).
         int64_t iout = 0;
         switch (e.binary_op) {
           case BinaryOp::kAdd:
-            if (both_int && !__builtin_add_overflow(l->AsInteger(),
-                                                    r->AsInteger(), &iout)) {
+            if (both_int && !__builtin_add_overflow(l.AsInteger(),
+                                                    r.AsInteger(), &iout)) {
               return Value(iout);
             }
             return Value(a + b);
           case BinaryOp::kSub:
-            if (both_int && !__builtin_sub_overflow(l->AsInteger(),
-                                                    r->AsInteger(), &iout)) {
+            if (both_int && !__builtin_sub_overflow(l.AsInteger(),
+                                                    r.AsInteger(), &iout)) {
               return Value(iout);
             }
             return Value(a - b);
           case BinaryOp::kMul:
-            if (both_int && !__builtin_mul_overflow(l->AsInteger(),
-                                                    r->AsInteger(), &iout)) {
+            if (both_int && !__builtin_mul_overflow(l.AsInteger(),
+                                                    r.AsInteger(), &iout)) {
               return Value(iout);
             }
             return Value(a * b);
           case BinaryOp::kDiv:
             if (b == 0.0) return Value();
-            if (both_int && r->AsInteger() != 0 &&
-                !(l->AsInteger() == std::numeric_limits<int64_t>::min() &&
-                  r->AsInteger() == -1)) {
-              return Value(l->AsInteger() / r->AsInteger());
+            if (both_int && r.AsInteger() != 0 &&
+                !(l.AsInteger() == std::numeric_limits<int64_t>::min() &&
+                  r.AsInteger() == -1)) {
+              return Value(l.AsInteger() / r.AsInteger());
             }
             return Value(a / b);
           default:
@@ -622,13 +642,13 @@ class SelectRunner {
         return Value();
       }
       case BinaryOp::kConcat: {
-        if (l->is_null() || r->is_null()) return Value();
-        return Value(l->ToString() + r->ToString());
+        if (l.is_null() || r.is_null()) return Value();
+        return Value(l.ToString() + r.ToString());
       }
       case BinaryOp::kLike:
       case BinaryOp::kNotLike: {
-        if (l->is_null() || r->is_null()) return Value();
-        bool match = LikeMatch(l->ToString(), r->ToString());
+        if (l.is_null() || r.is_null()) return Value();
+        bool match = LikeMatch(l.ToString(), r.ToString());
         if (e.binary_op == BinaryOp::kNotLike) match = !match;
         return Value(static_cast<int64_t>(match ? 1 : 0));
       }
@@ -679,56 +699,48 @@ class SelectRunner {
     };
     const std::string& f = e.function;
     if (f == "ABS") {
-      auto v = arg(0);
-      if (!v.ok()) return v.status();
-      if (v->is_null()) return Value();
-      if (v->is_integer() &&
-          v->AsInteger() != std::numeric_limits<int64_t>::min()) {
-        return Value(std::abs(v->AsInteger()));
+      CODES_ASSIGN_OR_RETURN(Value v, arg(0));
+      if (v.is_null()) return Value();
+      if (v.is_integer() &&
+          v.AsInteger() != std::numeric_limits<int64_t>::min()) {
+        return Value(std::abs(v.AsInteger()));
       }
-      return Value(std::abs(v->ToNumeric()));
+      return Value(std::abs(v.ToNumeric()));
     }
     if (f == "ROUND") {
-      auto v = arg(0);
-      if (!v.ok()) return v.status();
-      if (v->is_null()) return Value();
+      CODES_ASSIGN_OR_RETURN(Value v, arg(0));
+      if (v.is_null()) return Value();
       int64_t digits = 0;
       if (e.children.size() > 1) {
-        auto d = arg(1);
-        if (!d.ok()) return d.status();
-        digits = static_cast<int64_t>(std::clamp(d->ToNumeric(), -30.0, 30.0));
+        CODES_ASSIGN_OR_RETURN(Value d, arg(1));
+        digits = static_cast<int64_t>(std::clamp(d.ToNumeric(), -30.0, 30.0));
       }
       double scale = std::pow(10.0, static_cast<double>(digits));
-      double scaled = std::round(v->ToNumeric() * scale) / scale;
-      if (!std::isfinite(scaled)) return Value(v->ToNumeric());
+      double scaled = std::round(v.ToNumeric() * scale) / scale;
+      if (!std::isfinite(scaled)) return Value(v.ToNumeric());
       return Value(scaled);
     }
     if (f == "LENGTH") {
-      auto v = arg(0);
-      if (!v.ok()) return v.status();
-      if (v->is_null()) return Value();
-      return Value(static_cast<int64_t>(v->ToString().size()));
+      CODES_ASSIGN_OR_RETURN(Value v, arg(0));
+      if (v.is_null()) return Value();
+      return Value(static_cast<int64_t>(v.ToString().size()));
     }
     if (f == "UPPER" || f == "LOWER") {
-      auto v = arg(0);
-      if (!v.ok()) return v.status();
-      if (v->is_null()) return Value();
-      return Value(f == "UPPER" ? ToUpper(v->ToString())
-                                : ToLower(v->ToString()));
+      CODES_ASSIGN_OR_RETURN(Value v, arg(0));
+      if (v.is_null()) return Value();
+      return Value(f == "UPPER" ? ToUpper(v.ToString())
+                                : ToLower(v.ToString()));
     }
     if (f == "SUBSTR" || f == "SUBSTRING") {
-      auto v = arg(0);
-      if (!v.ok()) return v.status();
-      if (v->is_null()) return Value();
-      auto start_v = arg(1);
-      if (!start_v.ok()) return start_v.status();
-      std::string s = v->ToString();
-      int64_t start = static_cast<int64_t>(start_v->ToNumeric());
+      CODES_ASSIGN_OR_RETURN(Value v, arg(0));
+      if (v.is_null()) return Value();
+      CODES_ASSIGN_OR_RETURN(Value start_v, arg(1));
+      std::string s = v.ToString();
+      int64_t start = static_cast<int64_t>(start_v.ToNumeric());
       int64_t len = static_cast<int64_t>(s.size());
       if (e.children.size() > 2) {
-        auto len_v = arg(2);
-        if (!len_v.ok()) return len_v.status();
-        len = static_cast<int64_t>(len_v->ToNumeric());
+        CODES_ASSIGN_OR_RETURN(Value len_v, arg(2));
+        len = static_cast<int64_t>(len_v.ToNumeric());
       }
       // 1-based indexing per SQL; negative start counts from the end.
       int64_t begin = start > 0 ? start - 1
@@ -741,9 +753,8 @@ class SelectRunner {
     }
     if (f == "COALESCE") {
       for (size_t i = 0; i < e.children.size(); ++i) {
-        auto v = arg(i);
-        if (!v.ok()) return v.status();
-        if (!v->is_null()) return *v;
+        CODES_ASSIGN_OR_RETURN(Value v, arg(i));
+        if (!v.is_null()) return v;
       }
       return Value();
     }
@@ -751,11 +762,15 @@ class SelectRunner {
   }
 
   /// First-column values of an uncorrelated subquery, cached per node.
+  /// Subquery execution shares the runner's guard and counts one level of
+  /// guarded nesting depth.
   Result<const std::vector<Value>*> SubqueryValues(const Expr& e) {
     auto it = subquery_cache_.find(&e);
     if (it == subquery_cache_.end()) {
+      if (guard_ != nullptr) CODES_RETURN_IF_ERROR(guard_->EnterNested());
       Executor sub_exec(db_);
-      auto result = sub_exec.Execute(*e.subquery);
+      auto result = sub_exec.Execute(*e.subquery, guard_);
+      if (guard_ != nullptr) guard_->LeaveNested();
       if (!result.ok()) return result.status();
       if (result->NumColumns() < 1) {
         return Status::ExecutionError("subquery returned no columns");
@@ -796,15 +811,14 @@ class SelectRunner {
       for (const auto& row : rows) {
         Keyed k;
         for (const auto& item : select_list()) {
-          auto v = Eval(*item.expr, row);
-          if (!v.ok()) return v.status();
-          k.out.push_back(std::move(*v));
+          CODES_ASSIGN_OR_RETURN(Value v, Eval(*item.expr, row));
+          k.out.push_back(std::move(v));
         }
         for (const auto& o : stmt_.order_by) {
-          auto v = Eval(*o.expr, row);
-          if (!v.ok()) return v.status();
-          k.keys.push_back(std::move(*v));
+          CODES_ASSIGN_OR_RETURN(Value v, Eval(*o.expr, row));
+          k.keys.push_back(std::move(v));
         }
+        CODES_RETURN_IF_ERROR(ChargeRow(k.out));
         keyed_rows.push_back(std::move(k));
       }
     } else {
@@ -814,9 +828,8 @@ class SelectRunner {
       for (const auto& row : rows) {
         Row key;
         for (const auto& g : stmt_.group_by) {
-          auto v = Eval(*g, row);
-          if (!v.ok()) return v.status();
-          key.push_back(std::move(*v));
+          CODES_ASSIGN_OR_RETURN(Value v, Eval(*g, row));
+          key.push_back(std::move(v));
         }
         auto [it, inserted] = groups.try_emplace(key);
         if (inserted) group_order.push_back(key);
@@ -845,9 +858,8 @@ class SelectRunner {
         const auto& members = groups[key];
         // Compute aggregates for this group.
         for (const Expr* agg : agg_nodes) {
-          auto v = ComputeAggregate(*agg, members);
-          if (!v.ok()) return v.status();
-          agg->agg_result = std::move(*v);
+          CODES_ASSIGN_OR_RETURN(agg->agg_result,
+                                 ComputeAggregate(*agg, members));
           agg->use_agg_result = true;
         }
         // Representative row for evaluating group keys inside exprs.
@@ -858,21 +870,19 @@ class SelectRunner {
           representative.assign(static_cast<size_t>(scope_.width()), Value());
         }
         if (stmt_.having) {
-          auto hv = Eval(*stmt_.having, representative);
-          if (!hv.ok()) return hv.status();
-          if (!Truthy(*hv)) continue;
+          CODES_ASSIGN_OR_RETURN(Value hv, Eval(*stmt_.having, representative));
+          if (!Truthy(hv)) continue;
         }
         Keyed k;
         for (const auto& item : select_list()) {
-          auto v = Eval(*item.expr, representative);
-          if (!v.ok()) return v.status();
-          k.out.push_back(std::move(*v));
+          CODES_ASSIGN_OR_RETURN(Value v, Eval(*item.expr, representative));
+          k.out.push_back(std::move(v));
         }
         for (const auto& o : stmt_.order_by) {
-          auto v = Eval(*o.expr, representative);
-          if (!v.ok()) return v.status();
-          k.keys.push_back(std::move(*v));
+          CODES_ASSIGN_OR_RETURN(Value v, Eval(*o.expr, representative));
+          k.keys.push_back(std::move(v));
         }
+        CODES_RETURN_IF_ERROR(ChargeRow(k.out));
         keyed_rows.push_back(std::move(k));
       }
       // Reset aggregate scratch state so the AST can be reused.
@@ -931,9 +941,8 @@ class SelectRunner {
     std::vector<Value> values;
     values.reserve(members.size());
     for (const Row* row : members) {
-      auto v = Eval(*agg.children[0], *row);
-      if (!v.ok()) return v.status();
-      if (!v->is_null()) values.push_back(std::move(*v));
+      CODES_ASSIGN_OR_RETURN(Value v, Eval(*agg.children[0], *row));
+      if (!v.is_null()) values.push_back(std::move(v));
     }
     if (agg.distinct_arg) {
       std::vector<Value> unique;
@@ -981,6 +990,8 @@ class SelectRunner {
 
   const Database& db_;
   const SelectStatement& stmt_;
+  ExecGuard* guard_;            ///< may be null (unguarded)
+  size_t step_rows_ = 0;        ///< rows since start, for the step failpoint
   Scope scope_;
   bool use_expanded_ = false;
   std::vector<SelectItem> expanded_select_;
@@ -999,13 +1010,17 @@ std::vector<Row> DedupeRows(const std::vector<Row>& rows) {
 
 }  // namespace
 
-Result<ResultTable> Executor::Execute(const SelectStatement& stmt) const {
-  SelectRunner runner(db_, stmt);
+Result<ResultTable> Executor::Execute(const SelectStatement& stmt,
+                                      ExecGuard* guard) const {
+  SelectRunner runner(db_, stmt, guard);
   auto left = runner.Run();
   if (!left.ok()) return left.status();
   if (stmt.set_op == SetOp::kNone) return left;
 
-  auto right = Execute(*stmt.set_rhs);
+  // The right arm of a set operation counts one level of guarded nesting.
+  if (guard != nullptr) CODES_RETURN_IF_ERROR(guard->EnterNested());
+  auto right = Execute(*stmt.set_rhs, guard);
+  if (guard != nullptr) guard->LeaveNested();
   if (!right.ok()) return right.status();
   if (left->NumColumns() != right->NumColumns()) {
     return Status::ExecutionError("set operands have different column counts");
@@ -1046,11 +1061,11 @@ Result<ResultTable> Executor::Execute(const SelectStatement& stmt) const {
   return out;
 }
 
-Result<ResultTable> ExecuteSql(const Database& db, std::string_view sql) {
-  auto stmt = ParseSql(sql);
-  if (!stmt.ok()) return stmt.status();
+Result<ResultTable> ExecuteSql(const Database& db, std::string_view sql,
+                               ExecGuard* guard) {
+  CODES_ASSIGN_OR_RETURN(auto stmt, ParseSql(sql));
   Executor executor(db);
-  return executor.Execute(**stmt);
+  return executor.Execute(*stmt, guard);
 }
 
 bool IsExecutable(const Database& db, std::string_view sql) {

@@ -4,6 +4,7 @@
 #include <memory>
 #include <string_view>
 
+#include "common/exec_guard.h"
 #include "common/status.h"
 #include "sqlengine/ast.h"
 #include "sqlengine/database.h"
@@ -19,19 +20,30 @@ namespace codes::sql {
 /// aliases, or 1-based positions), LIMIT, set operations, uncorrelated IN /
 /// scalar subqueries, and the scalar functions ABS, ROUND, LENGTH, UPPER,
 /// LOWER, SUBSTR, CAST.
+///
+/// Guarded execution: when a non-null ExecGuard is passed, row production
+/// charges its row/byte budgets, deadline/cancellation are polled from
+/// every materializing loop, and subquery / set-operation arms count
+/// against the guard's nesting-depth budget. Guard violations surface as
+/// StatusCode::{kTimeout, kCancelled, kResourceExhausted}. A null guard
+/// (the default) is the historical unguarded behaviour.
 class Executor {
  public:
   explicit Executor(const Database& db) : db_(db) {}
 
-  /// Executes `stmt` and returns the result table.
-  Result<ResultTable> Execute(const SelectStatement& stmt) const;
+  /// Executes `stmt` and returns the result table. `guard`, when non-null,
+  /// must outlive the call; it is shared by nested subquery execution.
+  Result<ResultTable> Execute(const SelectStatement& stmt,
+                              ExecGuard* guard = nullptr) const;
 
  private:
   const Database& db_;
 };
 
-/// Parses and executes `sql` against `db` in one step.
-Result<ResultTable> ExecuteSql(const Database& db, std::string_view sql);
+/// Parses and executes `sql` against `db` in one step, honoring `guard`
+/// during execution (parsing enforces its own fixed nesting-depth cap).
+Result<ResultTable> ExecuteSql(const Database& db, std::string_view sql,
+                               ExecGuard* guard = nullptr);
 
 /// True if `sql` parses and executes without error ("is executable"), the
 /// predicate the paper uses to pick among beam candidates.

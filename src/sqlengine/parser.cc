@@ -10,6 +10,16 @@ namespace codes::sql {
 
 namespace {
 
+/// Maximum combined nesting depth of SELECTs and expressions. Each level
+/// of the recursive-descent parser costs several stack frames (ParseExpr
+/// alone chains through ~8 precedence levels before recursing), so deeply
+/// nested input like "((((...1...))))" or a long subquery chain would
+/// otherwise overflow the stack. 200 is far beyond any benchmark query
+/// while keeping worst-case stack use to a couple of megabytes even under
+/// sanitizers. The executor enforces its own, separate runtime depth
+/// budget via ExecGuard.
+constexpr int kMaxParseDepth = 200;
+
 /// Recursive-descent parser over the token stream. All Parse* methods
 /// return a Result; the first error aborts the parse.
 class Parser {
@@ -17,17 +27,37 @@ class Parser {
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
   Result<std::unique_ptr<SelectStatement>> ParseStatement() {
-    auto stmt = ParseSelect();
-    if (!stmt.ok()) return stmt.status();
+    CODES_ASSIGN_OR_RETURN(auto stmt, ParseSelect());
     // Optional trailing semicolon.
     if (PeekSymbol(";")) Advance();
     if (Peek().kind != TokenKind::kEnd) {
       return Error("unexpected trailing input: '" + Peek().text + "'");
     }
-    return std::move(stmt).value();
+    return stmt;
   }
 
  private:
+  /// Counts one level of parser recursion for the lifetime of a Parse*
+  /// call. The depth check itself lives in EnterNesting().
+  class DepthGuard {
+   public:
+    explicit DepthGuard(int* depth) : depth_(depth) { ++*depth_; }
+    ~DepthGuard() { --*depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+
+   private:
+    int* depth_;
+  };
+
+  Status CheckDepth() const {
+    if (depth_ > kMaxParseDepth) {
+      return Status::ParseError("query nesting exceeds depth limit (" +
+                                std::to_string(kMaxParseDepth) + ")");
+    }
+    return Status::Ok();
+  }
+
   const Token& Peek(int lookahead = 0) const {
     size_t idx = pos_ + static_cast<size_t>(lookahead);
     if (idx >= tokens_.size()) return tokens_.back();
@@ -77,17 +107,16 @@ class Parser {
   }
 
   Result<std::unique_ptr<SelectStatement>> ParseSelect() {
+    DepthGuard depth(&depth_);
+    CODES_RETURN_IF_ERROR(CheckDepth());
     auto stmt = std::make_unique<SelectStatement>();
-    Status s = ExpectKeyword("SELECT");
-    if (!s.ok()) return s;
+    CODES_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
     if (AcceptKeyword("DISTINCT")) stmt->distinct = true;
 
     // Select list.
     while (true) {
       SelectItem item;
-      auto expr = ParseExpr();
-      if (!expr.ok()) return expr.status();
-      item.expr = std::move(expr).value();
+      CODES_ASSIGN_OR_RETURN(item.expr, ParseExpr());
       if (AcceptKeyword("AS")) {
         if (Peek().kind != TokenKind::kIdentifier) {
           return Error("expected alias after AS");
@@ -102,11 +131,8 @@ class Parser {
       if (!AcceptSymbol(",")) break;
     }
 
-    s = ExpectKeyword("FROM");
-    if (!s.ok()) return s;
-    auto from = ParseTableRef();
-    if (!from.ok()) return from.status();
-    stmt->from = std::move(from).value();
+    CODES_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    CODES_ASSIGN_OR_RETURN(stmt->from, ParseTableRef());
 
     // Joins.
     while (true) {
@@ -126,54 +152,40 @@ class Parser {
             ToUpper(Peek().text) == "OUTER") {
           Advance();
         }
-        Status sj = ExpectKeyword("JOIN");
-        if (!sj.ok()) return sj;
+        CODES_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
         is_join = true;
       }
       if (!is_join) break;
       JoinClause join;
-      auto table = ParseTableRef();
-      if (!table.ok()) return table.status();
-      join.table = std::move(table).value();
+      CODES_ASSIGN_OR_RETURN(join.table, ParseTableRef());
       if (AcceptKeyword("ON")) {
-        auto cond = ParseExpr();
-        if (!cond.ok()) return cond.status();
-        join.condition = std::move(cond).value();
+        CODES_ASSIGN_OR_RETURN(join.condition, ParseExpr());
       }
       stmt->joins.push_back(std::move(join));
     }
 
     if (AcceptKeyword("WHERE")) {
-      auto cond = ParseExpr();
-      if (!cond.ok()) return cond.status();
-      stmt->where = std::move(cond).value();
+      CODES_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
     }
 
     if (AcceptKeyword("GROUP")) {
-      s = ExpectKeyword("BY");
-      if (!s.ok()) return s;
+      CODES_RETURN_IF_ERROR(ExpectKeyword("BY"));
       while (true) {
-        auto expr = ParseExpr();
-        if (!expr.ok()) return expr.status();
-        stmt->group_by.push_back(std::move(expr).value());
+        CODES_ASSIGN_OR_RETURN(auto expr, ParseExpr());
+        stmt->group_by.push_back(std::move(expr));
         if (!AcceptSymbol(",")) break;
       }
     }
 
     if (AcceptKeyword("HAVING")) {
-      auto cond = ParseExpr();
-      if (!cond.ok()) return cond.status();
-      stmt->having = std::move(cond).value();
+      CODES_ASSIGN_OR_RETURN(stmt->having, ParseExpr());
     }
 
     if (AcceptKeyword("ORDER")) {
-      s = ExpectKeyword("BY");
-      if (!s.ok()) return s;
+      CODES_RETURN_IF_ERROR(ExpectKeyword("BY"));
       while (true) {
         OrderItem item;
-        auto expr = ParseExpr();
-        if (!expr.ok()) return expr.status();
-        item.expr = std::move(expr).value();
+        CODES_ASSIGN_OR_RETURN(item.expr, ParseExpr());
         if (AcceptKeyword("DESC")) {
           item.ascending = false;
         } else {
@@ -200,9 +212,7 @@ class Parser {
       stmt->set_op = SetOp::kExcept;
     }
     if (stmt->set_op != SetOp::kNone) {
-      auto rhs = ParseSelect();
-      if (!rhs.ok()) return rhs.status();
-      stmt->set_rhs = std::move(rhs).value();
+      CODES_ASSIGN_OR_RETURN(stmt->set_rhs, ParseSelect());
     }
     return stmt;
   }
@@ -226,54 +236,54 @@ class Parser {
 
   // Expression precedence (lowest first): OR, AND, NOT, comparison/IN/
   // BETWEEN/LIKE/IS, additive/concat, multiplicative, unary, primary.
-  Result<std::unique_ptr<Expr>> ParseExpr() { return ParseOr(); }
+  // Nesting depth is charged once per ParseExpr entry, which bounds the
+  // whole precedence chain below it.
+  Result<std::unique_ptr<Expr>> ParseExpr() {
+    DepthGuard depth(&depth_);
+    CODES_RETURN_IF_ERROR(CheckDepth());
+    return ParseOr();
+  }
 
   Result<std::unique_ptr<Expr>> ParseOr() {
-    auto left = ParseAnd();
-    if (!left.ok()) return left.status();
-    auto node = std::move(left).value();
+    CODES_ASSIGN_OR_RETURN(auto node, ParseAnd());
     while (AcceptKeyword("OR")) {
-      auto right = ParseAnd();
-      if (!right.ok()) return right.status();
+      CODES_ASSIGN_OR_RETURN(auto right, ParseAnd());
       node = Expr::MakeBinary(BinaryOp::kOr, std::move(node),
-                              std::move(right).value());
+                              std::move(right));
     }
     return node;
   }
 
   Result<std::unique_ptr<Expr>> ParseAnd() {
-    auto left = ParseNot();
-    if (!left.ok()) return left.status();
-    auto node = std::move(left).value();
+    CODES_ASSIGN_OR_RETURN(auto node, ParseNot());
     while (PeekKeyword("AND")) {
       Advance();
-      auto right = ParseNot();
-      if (!right.ok()) return right.status();
+      CODES_ASSIGN_OR_RETURN(auto right, ParseNot());
       node = Expr::MakeBinary(BinaryOp::kAnd, std::move(node),
-                              std::move(right).value());
+                              std::move(right));
     }
     return node;
   }
 
   Result<std::unique_ptr<Expr>> ParseNot() {
     if (AcceptKeyword("NOT")) {
-      auto inner = ParseNot();
-      if (!inner.ok()) return inner.status();
-      return Expr::MakeUnary(UnaryOp::kNot, std::move(inner).value());
+      // NOT chains recurse without passing through ParseExpr; charge depth
+      // here too so "NOT NOT NOT ..." stays bounded.
+      DepthGuard depth(&depth_);
+      CODES_RETURN_IF_ERROR(CheckDepth());
+      CODES_ASSIGN_OR_RETURN(auto inner, ParseNot());
+      return Expr::MakeUnary(UnaryOp::kNot, std::move(inner));
     }
     return ParseComparison();
   }
 
   Result<std::unique_ptr<Expr>> ParseComparison() {
-    auto left = ParseAdditive();
-    if (!left.ok()) return left.status();
-    auto node = std::move(left).value();
+    CODES_ASSIGN_OR_RETURN(auto node, ParseAdditive());
 
     // IS [NOT] NULL
     if (AcceptKeyword("IS")) {
       bool negate = AcceptKeyword("NOT");
-      Status s = ExpectKeyword("NULL");
-      if (!s.ok()) return s;
+      CODES_RETURN_IF_ERROR(ExpectKeyword("NULL"));
       return Expr::MakeUnary(negate ? UnaryOp::kIsNotNull : UnaryOp::kIsNull,
                              std::move(node));
     }
@@ -287,34 +297,28 @@ class Parser {
     }
 
     if (AcceptKeyword("BETWEEN")) {
-      auto lo = ParseAdditive();
-      if (!lo.ok()) return lo.status();
-      Status s = ExpectKeyword("AND");
-      if (!s.ok()) return s;
-      auto hi = ParseAdditive();
-      if (!hi.ok()) return hi.status();
+      CODES_ASSIGN_OR_RETURN(auto lo, ParseAdditive());
+      CODES_RETURN_IF_ERROR(ExpectKeyword("AND"));
+      CODES_ASSIGN_OR_RETURN(auto hi, ParseAdditive());
       auto e = std::make_unique<Expr>();
       e->kind = ExprKind::kBetween;
       e->negated = negated;
       e->children.push_back(std::move(node));
-      e->children.push_back(std::move(lo).value());
-      e->children.push_back(std::move(hi).value());
+      e->children.push_back(std::move(lo));
+      e->children.push_back(std::move(hi));
       return e;
     }
 
     if (AcceptKeyword("IN")) {
-      Status s = ExpectSymbol("(");
-      if (!s.ok()) return s;
+      CODES_RETURN_IF_ERROR(ExpectSymbol("("));
       if (PeekKeyword("SELECT")) {
-        auto sub = ParseSelect();
-        if (!sub.ok()) return sub.status();
-        s = ExpectSymbol(")");
-        if (!s.ok()) return s;
+        CODES_ASSIGN_OR_RETURN(auto sub, ParseSelect());
+        CODES_RETURN_IF_ERROR(ExpectSymbol(")"));
         auto e = std::make_unique<Expr>();
         e->kind = ExprKind::kInSubquery;
         e->negated = negated;
         e->children.push_back(std::move(node));
-        e->subquery = std::move(sub).value();
+        e->subquery = std::move(sub);
         return e;
       }
       auto e = std::make_unique<Expr>();
@@ -343,16 +347,14 @@ class Parser {
         }
         if (!AcceptSymbol(",")) break;
       }
-      s = ExpectSymbol(")");
-      if (!s.ok()) return s;
+      CODES_RETURN_IF_ERROR(ExpectSymbol(")"));
       return e;
     }
 
     if (AcceptKeyword("LIKE")) {
-      auto right = ParseAdditive();
-      if (!right.ok()) return right.status();
+      CODES_ASSIGN_OR_RETURN(auto right, ParseAdditive());
       return Expr::MakeBinary(negated ? BinaryOp::kNotLike : BinaryOp::kLike,
-                              std::move(node), std::move(right).value());
+                              std::move(node), std::move(right));
     }
     if (negated) return Error("dangling NOT");
 
@@ -367,18 +369,15 @@ class Parser {
     for (const auto& [sym, op] : kOps) {
       if (PeekSymbol(sym)) {
         Advance();
-        auto right = ParseAdditive();
-        if (!right.ok()) return right.status();
-        return Expr::MakeBinary(op, std::move(node), std::move(right).value());
+        CODES_ASSIGN_OR_RETURN(auto right, ParseAdditive());
+        return Expr::MakeBinary(op, std::move(node), std::move(right));
       }
     }
     return node;
   }
 
   Result<std::unique_ptr<Expr>> ParseAdditive() {
-    auto left = ParseMultiplicative();
-    if (!left.ok()) return left.status();
-    auto node = std::move(left).value();
+    CODES_ASSIGN_OR_RETURN(auto node, ParseMultiplicative());
     while (true) {
       BinaryOp op;
       if (PeekSymbol("+")) {
@@ -391,17 +390,14 @@ class Parser {
         break;
       }
       Advance();
-      auto right = ParseMultiplicative();
-      if (!right.ok()) return right.status();
-      node = Expr::MakeBinary(op, std::move(node), std::move(right).value());
+      CODES_ASSIGN_OR_RETURN(auto right, ParseMultiplicative());
+      node = Expr::MakeBinary(op, std::move(node), std::move(right));
     }
     return node;
   }
 
   Result<std::unique_ptr<Expr>> ParseMultiplicative() {
-    auto left = ParseUnary();
-    if (!left.ok()) return left.status();
-    auto node = std::move(left).value();
+    CODES_ASSIGN_OR_RETURN(auto node, ParseUnary());
     while (true) {
       BinaryOp op;
       if (PeekSymbol("*")) {
@@ -412,18 +408,19 @@ class Parser {
         break;
       }
       Advance();
-      auto right = ParseUnary();
-      if (!right.ok()) return right.status();
-      node = Expr::MakeBinary(op, std::move(node), std::move(right).value());
+      CODES_ASSIGN_OR_RETURN(auto right, ParseUnary());
+      node = Expr::MakeBinary(op, std::move(node), std::move(right));
     }
     return node;
   }
 
   Result<std::unique_ptr<Expr>> ParseUnary() {
     if (AcceptSymbol("-")) {
-      auto inner = ParseUnary();
-      if (!inner.ok()) return inner.status();
-      return Expr::MakeUnary(UnaryOp::kNegate, std::move(inner).value());
+      // "- - - ... 1" recurses here without a ParseExpr in between.
+      DepthGuard depth(&depth_);
+      CODES_RETURN_IF_ERROR(CheckDepth());
+      CODES_ASSIGN_OR_RETURN(auto inner, ParseUnary());
+      return Expr::MakeUnary(UnaryOp::kNegate, std::move(inner));
     }
     return ParsePrimary();
   }
@@ -453,30 +450,23 @@ class Parser {
     if (PeekSymbol("(")) {
       Advance();
       if (PeekKeyword("SELECT")) {
-        auto sub = ParseSelect();
-        if (!sub.ok()) return sub.status();
-        Status s = ExpectSymbol(")");
-        if (!s.ok()) return s;
+        CODES_ASSIGN_OR_RETURN(auto sub, ParseSelect());
+        CODES_RETURN_IF_ERROR(ExpectSymbol(")"));
         auto e = std::make_unique<Expr>();
         e->kind = ExprKind::kScalarSubquery;
-        e->subquery = std::move(sub).value();
+        e->subquery = std::move(sub);
         return e;
       }
-      auto inner = ParseExpr();
-      if (!inner.ok()) return inner.status();
-      Status s = ExpectSymbol(")");
-      if (!s.ok()) return s;
-      return std::move(inner).value();
+      CODES_ASSIGN_OR_RETURN(auto inner, ParseExpr());
+      CODES_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return inner;
     }
     // CAST(expr AS type).
     if (t.kind == TokenKind::kKeyword && t.text == "CAST") {
       Advance();
-      Status s = ExpectSymbol("(");
-      if (!s.ok()) return s;
-      auto inner = ParseExpr();
-      if (!inner.ok()) return inner.status();
-      s = ExpectKeyword("AS");
-      if (!s.ok()) return s;
+      CODES_RETURN_IF_ERROR(ExpectSymbol("("));
+      CODES_ASSIGN_OR_RETURN(auto inner, ParseExpr());
+      CODES_RETURN_IF_ERROR(ExpectKeyword("AS"));
       DataType type;
       if (AcceptKeyword("INTEGER")) {
         type = DataType::kInteger;
@@ -487,12 +477,11 @@ class Parser {
       } else {
         return Error("expected type name in CAST");
       }
-      s = ExpectSymbol(")");
-      if (!s.ok()) return s;
+      CODES_RETURN_IF_ERROR(ExpectSymbol(")"));
       auto e = std::make_unique<Expr>();
       e->kind = ExprKind::kCast;
       e->cast_type = type;
-      e->children.push_back(std::move(inner).value());
+      e->children.push_back(std::move(inner));
       return e;
     }
     // Aggregate keywords used as function names.
@@ -530,25 +519,23 @@ class Parser {
   }
 
   Result<std::unique_ptr<Expr>> ParseFunctionCall(std::string name) {
-    Status s = ExpectSymbol("(");
-    if (!s.ok()) return s;
+    CODES_RETURN_IF_ERROR(ExpectSymbol("("));
     bool distinct = AcceptKeyword("DISTINCT");
     std::vector<std::unique_ptr<Expr>> args;
     if (!PeekSymbol(")")) {
       while (true) {
-        auto arg = ParseExpr();
-        if (!arg.ok()) return arg.status();
-        args.push_back(std::move(arg).value());
+        CODES_ASSIGN_OR_RETURN(auto arg, ParseExpr());
+        args.push_back(std::move(arg));
         if (!AcceptSymbol(",")) break;
       }
     }
-    s = ExpectSymbol(")");
-    if (!s.ok()) return s;
+    CODES_RETURN_IF_ERROR(ExpectSymbol(")"));
     return Expr::MakeFunction(std::move(name), std::move(args), distinct);
   }
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int depth_ = 0;  ///< current SELECT/expression nesting depth
 };
 
 }  // namespace

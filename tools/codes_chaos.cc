@@ -1,0 +1,268 @@
+// codes_chaos: fault-injection campaign runner for the serving path.
+//
+// Runs dev-set prediction through CodesPipeline::PredictGuarded while the
+// failpoint registry injects faults at every serving site, and asserts the
+// degradation-ladder invariants: no crash, every request answered with
+// non-empty SQL, and — because fault decisions are slot-based — the whole
+// campaign byte-identical for any --threads value.
+//
+// Modes:
+//   campaign (default)  codes_chaos --queries=10000 --threads=8 --seed=1
+//   smoke               codes_chaos --smoke   (small fixed-seed campaign
+//                                              with a built-in 1-vs-N
+//                                              thread determinism check)
+//
+// Faults default to every site at --rate; --spec overrides with the full
+// failpoint grammar (e.g. "lm.decode=prob:0.2;executor.step=nth:7").
+// Campaign stdout is byte-identical across thread counts (timing goes to
+// stderr). Exit status: 0 clean, 1 invariant violation, 2 usage error.
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/thread_pool.h"
+#include "core/model_zoo.h"
+#include "core/pipeline.h"
+#include "dataset/benchmark_builder.h"
+
+namespace {
+
+struct Flags {
+  int queries = 10000;
+  int threads = 8;
+  uint64_t seed = 1;
+  double rate = 0.01;
+  size_t max_rows = 20000;
+  std::string spec;  ///< overrides the --rate-derived spec when non-empty
+  bool smoke = false;
+  bool selfcheck = false;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  if (arg[len] == '\0') {
+    value->clear();
+    return true;
+  }
+  if (arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: codes_chaos [--queries=N] [--threads=N] [--seed=S]\n"
+               "                   [--rate=P] [--spec=SPEC] [--max-rows=N]\n"
+               "                   [--selfcheck] [--smoke]\n");
+}
+
+/// FNV-1a over the campaign's (sql, report) lines in sample order; the
+/// single number CI compares across thread counts and reruns.
+struct Digest {
+  uint64_t value = 1469598103934665603ULL;
+  void Add(const std::string& s) {
+    for (char c : s) {
+      value ^= static_cast<unsigned char>(c);
+      value *= 1099511628211ULL;
+    }
+  }
+};
+
+struct CampaignResult {
+  uint64_t digest = 0;
+  uint64_t queries = 0;
+  uint64_t verified = 0;
+  uint64_t unverified = 0;
+  uint64_t empty_sql = 0;
+  uint64_t rung_counts[4] = {0, 0, 0, 0};
+  uint64_t site_fired[codes::kNumFailpointSites] = {0, 0, 0, 0, 0};
+};
+
+/// Runs `flags.queries` predictions in rounds over the dev set. Each round
+/// reconfigures the registry with seed + round so consecutive visits of
+/// the same sample draw different faults (within one round the per-sample
+/// slot pins every decision, independent of scheduling).
+CampaignResult RunCampaign(const codes::CodesPipeline& pipeline,
+                           const codes::Text2SqlBenchmark& bench,
+                           const Flags& flags, const std::string& spec,
+                           int threads) {
+  const auto& dev = bench.dev;
+  codes::ServeOptions options;
+  options.limits.max_rows = flags.max_rows;
+
+  CampaignResult result;
+  Digest digest;
+  codes::ThreadPool pool(threads);
+  int done = 0;
+  for (uint64_t round = 0; done < flags.queries; ++round) {
+    codes::Status configured =
+        codes::Failpoints::Configure(spec, flags.seed + round);
+    CODES_CHECK(configured.ok());
+    size_t batch = std::min(dev.size(),
+                            static_cast<size_t>(flags.queries - done));
+    std::vector<std::pair<std::string, codes::ServeReport>> slots(batch);
+    pool.ParallelFor(batch, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        codes::ServeReport report;
+        std::string sql =
+            pipeline.PredictGuarded(bench, dev[i], options, &report);
+        slots[i] = {std::move(sql), std::move(report)};
+      }
+    });
+    for (const auto& [sql, report] : slots) {
+      digest.Add(sql);
+      digest.Add(" | ");
+      digest.Add(report.ToString());
+      digest.Add("\n");
+      ++result.queries;
+      if (sql.empty()) ++result.empty_sql;
+      if (report.execution_verified) {
+        ++result.verified;
+      } else {
+        ++result.unverified;
+      }
+      for (codes::ServeRung rung : report.rungs) {
+        ++result.rung_counts[static_cast<int>(rung)];
+      }
+    }
+    // Fired counters reset on the next Configure: harvest per round.
+    for (int s = 0; s < codes::kNumFailpointSites; ++s) {
+      result.site_fired[s] += codes::Failpoints::FiredCount(
+          static_cast<codes::FailpointSite>(s));
+    }
+    done += static_cast<int>(batch);
+  }
+  codes::Failpoints::Clear();
+  result.digest = digest.value;
+  return result;
+}
+
+void PrintResult(const CampaignResult& r, const std::string& spec,
+                 uint64_t seed) {
+  std::printf("chaos campaign: queries=%" PRIu64 " seed=%" PRIu64
+              " spec=\"%s\"\n",
+              r.queries, seed, spec.c_str());
+  std::printf("served: verified=%" PRIu64 " unverified=%" PRIu64
+              " empty_sql=%" PRIu64 "\n",
+              r.verified, r.unverified, r.empty_sql);
+  std::printf("rungs fired:");
+  for (int i = 0; i < 4; ++i) {
+    std::printf(" %s=%" PRIu64,
+                codes::ServeRungName(static_cast<codes::ServeRung>(i)),
+                r.rung_counts[i]);
+  }
+  std::printf("\n");
+  std::printf("faults injected:");
+  for (int s = 0; s < codes::kNumFailpointSites; ++s) {
+    std::printf(" %s=%" PRIu64,
+                codes::FailpointSiteName(static_cast<codes::FailpointSite>(s)),
+                r.site_fired[s]);
+  }
+  std::printf("\n");
+  std::printf("digest=%016" PRIx64 "\n", r.digest);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--queries", &value)) {
+      flags.queries = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--threads", &value)) {
+      flags.threads = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--seed", &value)) {
+      flags.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--rate", &value)) {
+      flags.rate = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--max-rows", &value)) {
+      flags.max_rows = static_cast<size_t>(
+          std::strtoull(value.c_str(), nullptr, 10));
+    } else if (ParseFlag(argv[i], "--spec", &value)) {
+      flags.spec = value;
+    } else if (ParseFlag(argv[i], "--selfcheck", &value)) {
+      flags.selfcheck = true;
+    } else if (ParseFlag(argv[i], "--smoke", &value)) {
+      flags.smoke = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      Usage();
+      return 2;
+    }
+  }
+  if (flags.smoke) {
+    // Fixed, fast configuration for ctest / CI gating.
+    flags.queries = 400;
+    flags.threads = 2;
+    flags.seed = 20240806;
+    flags.rate = 0.05;
+    flags.selfcheck = true;
+  }
+  if (flags.queries < 1 || flags.threads < 1 || flags.rate < 0.0 ||
+      flags.rate > 1.0) {
+    Usage();
+    return 2;
+  }
+
+  std::string spec = flags.spec;
+  if (spec.empty()) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "*=prob:%g", flags.rate);
+    spec = buf;
+  }
+
+  auto start = std::chrono::steady_clock::now();
+  // Fixture: the tiny Spider-like benchmark with a fully set-up pipeline
+  // (trained classifier + SFT), the same serving configuration the
+  // evaluation harness exercises.
+  auto bench = codes::BuildTinySpiderLike(2024);
+  codes::LmZoo zoo(1, 31);
+  codes::PipelineConfig config;
+  config.size = codes::ModelSize::k7B;
+  codes::CodesPipeline pipeline(config, zoo.CodesFor(config.size));
+  pipeline.TrainClassifier(bench);
+  pipeline.FineTune(bench);
+
+  CampaignResult result =
+      RunCampaign(pipeline, bench, flags, spec, flags.threads);
+  PrintResult(result, spec, flags.seed);
+
+  int exit_code = 0;
+  if (result.empty_sql > 0) {
+    std::printf("INVARIANT VIOLATION: %" PRIu64 " empty predictions\n",
+                result.empty_sql);
+    exit_code = 1;
+  }
+
+  if (flags.selfcheck) {
+    // The whole campaign must replay byte-identically single-threaded:
+    // fault decisions and ladder outcomes depend on (seed, sample), never
+    // on scheduling.
+    CampaignResult serial = RunCampaign(pipeline, bench, flags, spec, 1);
+    if (serial.digest == result.digest) {
+      std::printf("selfcheck: 1-thread replay digest matches\n");
+    } else {
+      std::printf("selfcheck FAILED: %d-thread digest %016" PRIx64
+                  " != 1-thread digest %016" PRIx64 "\n",
+                  flags.threads, result.digest, serial.digest);
+      exit_code = 1;
+    }
+  }
+
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  std::fprintf(stderr, "elapsed: %lld ms (%d threads)\n",
+               static_cast<long long>(elapsed), flags.threads);
+  return exit_code;
+}
