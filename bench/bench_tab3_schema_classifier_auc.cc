@@ -60,7 +60,8 @@ void Run() {
 }  // namespace
 }  // namespace codes
 
-int main() {
+int main(int argc, char** argv) {
   codes::Run();
+  codes::bench::WriteMetricsIfRequested(argc, argv);
   return 0;
 }

@@ -2,7 +2,33 @@
 
 #include <string>
 
+#include "common/metrics.h"
+
 namespace codes {
+
+namespace {
+
+/// Guard consumption and trip counters; registered once, stable across
+/// MetricsRegistry::Reset().
+struct GuardMetrics {
+  Counter& rows_charged =
+      MetricsRegistry::Global().GetCounter("guard.rows_charged");
+  Counter& bytes_charged =
+      MetricsRegistry::Global().GetCounter("guard.bytes_charged");
+  Counter& timeout_trips =
+      MetricsRegistry::Global().GetCounter("guard.trips.timeout");
+  Counter& cancelled_trips =
+      MetricsRegistry::Global().GetCounter("guard.trips.cancelled");
+  Counter& budget_trips =
+      MetricsRegistry::Global().GetCounter("guard.trips.resource_exhausted");
+};
+
+GuardMetrics& Metrics() {
+  static GuardMetrics* metrics = new GuardMetrics();  // never freed
+  return *metrics;
+}
+
+}  // namespace
 
 ExecGuard::ExecGuard(const ExecLimits& limits, const CancelToken* cancel)
     : limits_(limits), cancel_(cancel) {
@@ -16,7 +42,16 @@ ExecGuard::ExecGuard(const ExecLimits& limits, const CancelToken* cancel)
   }
 }
 
+ExecGuard::~ExecGuard() { FlushUsage(); }
+
+void ExecGuard::FlushUsage() {
+  if (rows_ == 0 && bytes_ == 0) return;
+  Metrics().rows_charged.Increment(rows_);
+  Metrics().bytes_charged.Increment(bytes_);
+}
+
 Status ExecGuard::DeadlineStatus() const {
+  Metrics().timeout_trips.Increment();
   return Status::Timeout("deadline of " +
                          std::to_string(limits_.deadline_seconds) +
                          "s exceeded");
@@ -25,6 +60,7 @@ Status ExecGuard::DeadlineStatus() const {
 Status ExecGuard::Check() {
   if (!active_) return Status::Ok();
   if (cancel_ != nullptr && cancel_->cancelled()) {
+    Metrics().cancelled_trips.Increment();
     return Status::Cancelled("operation cancelled");
   }
   if (limits_.deadline_seconds > 0.0 && Clock::now() > deadline_) {
@@ -34,6 +70,7 @@ Status ExecGuard::Check() {
 }
 
 Status ExecGuard::BudgetStatus() const {
+  Metrics().budget_trips.Increment();
   if (limits_.max_rows > 0 && rows_ > limits_.max_rows) {
     return Status::ResourceExhausted(
         "row budget of " + std::to_string(limits_.max_rows) +
@@ -63,6 +100,7 @@ void ExecGuard::LeaveNested() {
 }
 
 void ExecGuard::ResetUsage(bool rearm_deadline) {
+  FlushUsage();
   rows_ = 0;
   bytes_ = 0;
   ticks_ = 0;

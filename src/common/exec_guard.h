@@ -73,6 +73,11 @@ class ExecGuard {
   explicit ExecGuard(const ExecLimits& limits,
                      const CancelToken* cancel = nullptr);
 
+  /// Flushes accumulated row/byte consumption into the global
+  /// MetricsRegistry (`guard.rows_charged` / `guard.bytes_charged`) — one
+  /// branch for an idle guard, two counter bumps for an active one.
+  ~ExecGuard();
+
   /// Cancellation + deadline check, unthrottled. Call at operation
   /// boundaries (start of a statement, start of a stage).
   Status Check();
@@ -108,7 +113,9 @@ class ExecGuard {
 
   /// Clears row/byte usage (depth is scoped, not cleared) so one guard can
   /// budget several candidate executions of a single request. The deadline
-  /// keeps running unless `rearm_deadline` is true.
+  /// keeps running unless `rearm_deadline` is true. Usage cleared here is
+  /// first flushed to the consumption counters, so per-candidate resets
+  /// never lose accounting.
   void ResetUsage(bool rearm_deadline = false);
 
   /// True when any budget or a cancel token is configured; false for a
@@ -128,6 +135,8 @@ class ExecGuard {
   Status DeadlineStatus() const;
   /// Out-of-line: names whichever row/byte budget was exceeded.
   Status BudgetStatus() const;
+  /// Adds current rows_/bytes_ to the global consumption counters.
+  void FlushUsage();
 
   using Clock = std::chrono::steady_clock;
 

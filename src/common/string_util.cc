@@ -5,15 +5,33 @@
 
 namespace codes {
 
+namespace {
+
+// Case folding must be ASCII-only and locale-independent: these strings
+// are UTF-8, and std::tolower/std::toupper consult the global C locale,
+// where a byte >= 0x80 (half of every multi-byte code point) may be
+// remapped as if it were a Latin-1 letter — silently corrupting the
+// sequence and breaking the byte-exact LCS matching the value retriever
+// relies on. Bytes >= 0x80 always pass through untouched.
+inline char AsciiLower(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+inline char AsciiUpper(char c) {
+  return (c >= 'a' && c <= 'z') ? static_cast<char>(c - 'a' + 'A') : c;
+}
+
+}  // namespace
+
 std::string ToLower(std::string_view s) {
   std::string out(s);
-  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  for (char& c : out) c = AsciiLower(c);
   return out;
 }
 
 std::string ToUpper(std::string_view s) {
   std::string out(s);
-  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  for (char& c : out) c = AsciiUpper(c);
   return out;
 }
 
@@ -107,11 +125,13 @@ std::string IdentifierToPhrase(std::string_view identifier) {
       if (!out.empty() && out.back() != ' ') out += ' ';
       continue;
     }
-    if (std::isupper(static_cast<unsigned char>(c)) && i > 0 &&
-        std::islower(static_cast<unsigned char>(identifier[i - 1]))) {
+    // ASCII-only camelCase boundary: multi-byte UTF-8 identifiers keep
+    // their bytes intact and never split mid-code-point.
+    if (c >= 'A' && c <= 'Z' && i > 0 && identifier[i - 1] >= 'a' &&
+        identifier[i - 1] <= 'z') {
       out += ' ';
     }
-    out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    out += AsciiLower(c);
   }
   return Trim(out);
 }

@@ -7,10 +7,13 @@
 
 namespace codes {
 
-/// Returns `s` with ASCII letters lowercased.
+/// Returns `s` with ASCII letters lowercased. Locale-independent: bytes
+/// >= 0x80 pass through untouched, so UTF-8 text stays byte-exact (the
+/// value retriever's LCS matching depends on this).
 std::string ToLower(std::string_view s);
 
-/// Returns `s` with ASCII letters uppercased.
+/// Returns `s` with ASCII letters uppercased (locale-independent; bytes
+/// >= 0x80 untouched).
 std::string ToUpper(std::string_view s);
 
 /// Returns `s` without leading/trailing ASCII whitespace.

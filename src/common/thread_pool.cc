@@ -1,8 +1,35 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <iostream>
+
+#include "common/metrics.h"
 
 namespace codes {
+
+namespace {
+
+/// Pool metrics, registered once. Static references: registration
+/// survives MetricsRegistry::Reset(), so these stay valid forever.
+struct PoolMetrics {
+  Gauge& queue_depth =
+      MetricsRegistry::Global().GetGauge("pool.queue_depth");
+  Histogram& task_wait_us =
+      MetricsRegistry::Global().GetHistogram("pool.task_wait_us");
+  Counter& submitted =
+      MetricsRegistry::Global().GetCounter("pool.tasks_submitted");
+  Counter& completed =
+      MetricsRegistry::Global().GetCounter("pool.tasks_completed");
+  Counter& exceptions =
+      MetricsRegistry::Global().GetCounter("pool.task_exceptions");
+};
+
+PoolMetrics& Metrics() {
+  static PoolMetrics* metrics = new PoolMetrics();  // never freed
+  return *metrics;
+}
+
+}  // namespace
 
 int ThreadPool::ResolveThreadCount(int requested) {
   if (requested >= 1) return requested;
@@ -25,25 +52,48 @@ ThreadPool::~ThreadPool() {
   }
   work_cv_.notify_all();
   for (auto& worker : workers_) worker.join();
+  if (first_exception_ != nullptr) {
+    // Never harvested by a Wait(); a destructor cannot rethrow.
+    try {
+      std::rethrow_exception(first_exception_);
+    } catch (const std::exception& e) {
+      std::cerr << "ThreadPool: task exception dropped at destruction: "
+                << e.what() << "\n";
+    } catch (...) {
+      std::cerr << "ThreadPool: task exception dropped at destruction\n";
+    }
+  }
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  bool timed = MetricsRegistry::Enabled();
+  QueuedTask queued{std::move(task),
+                    timed ? std::chrono::steady_clock::now()
+                          : std::chrono::steady_clock::time_point{}};
   {
     std::unique_lock<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(queued));
     ++in_flight_;
   }
+  Metrics().submitted.Increment();
+  Metrics().queue_depth.Add(1);
   work_cv_.notify_one();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  std::exception_ptr pending;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+    pending = std::move(first_exception_);
+    first_exception_ = nullptr;
+  }
+  if (pending != nullptr) std::rethrow_exception(pending);
 }
 
 void ThreadPool::WorkerLoop() {
   while (true) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -55,7 +105,27 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    Metrics().queue_depth.Add(-1);
+    if (task.enqueued != std::chrono::steady_clock::time_point{} &&
+        MetricsRegistry::Enabled()) {
+      Metrics().task_wait_us.Observe(
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - task.enqueued)
+              .count());
+    }
+    try {
+      task.fn();
+    } catch (...) {
+      // A throwing task must not kill the worker or wedge Wait(): capture
+      // the first exception for the next Wait() to rethrow, count the
+      // rest, and keep serving the queue.
+      Metrics().exceptions.Increment();
+      std::unique_lock<std::mutex> lock(mu_);
+      if (first_exception_ == nullptr) {
+        first_exception_ = std::current_exception();
+      }
+    }
+    Metrics().completed.Increment();
     {
       std::unique_lock<std::mutex> lock(mu_);
       if (--in_flight_ == 0) idle_cv_.notify_all();

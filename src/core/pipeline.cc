@@ -6,12 +6,72 @@
 #include <thread>
 
 #include "common/failpoint.h"
+#include "common/metrics.h"
 #include "common/rng.h"
+#include "common/trace.h"
 #include "sqlengine/executor.h"
 
 namespace codes {
 
 namespace {
+
+/// Serving counters. Every PredictGuarded call increments serve.requests
+/// and exactly one serve.outcome.* counter (its most degraded fired rung,
+/// or "clean"), so the outcome family always sums to the request count —
+/// the invariant codes_chaos and chaos CI assert on the exported
+/// snapshot. Per-rung counters count every fired rung independently.
+struct ServeMetrics {
+  Counter& requests = MetricsRegistry::Global().GetCounter("serve.requests");
+  Counter& verified = MetricsRegistry::Global().GetCounter("serve.verified");
+  Counter& unverified =
+      MetricsRegistry::Global().GetCounter("serve.unverified");
+  Counter& repair_attempts =
+      MetricsRegistry::Global().GetCounter("serve.repair_attempts");
+  Counter& backoff_sleeps =
+      MetricsRegistry::Global().GetCounter("serve.backoff_sleeps");
+  Counter* rung_fired[4] = {
+      &MetricsRegistry::Global().GetCounter("serve.rung.classifier_fallback"),
+      &MetricsRegistry::Global().GetCounter("serve.rung.value_fallback"),
+      &MetricsRegistry::Global().GetCounter("serve.rung.repair"),
+      &MetricsRegistry::Global().GetCounter("serve.rung.emergency_sql")};
+  Counter& outcome_clean =
+      MetricsRegistry::Global().GetCounter("serve.outcome.clean");
+  Counter* outcome[4] = {
+      &MetricsRegistry::Global().GetCounter(
+          "serve.outcome.classifier_fallback"),
+      &MetricsRegistry::Global().GetCounter("serve.outcome.value_fallback"),
+      &MetricsRegistry::Global().GetCounter("serve.outcome.repair"),
+      &MetricsRegistry::Global().GetCounter("serve.outcome.emergency_sql")};
+};
+
+ServeMetrics& Metrics() {
+  static ServeMetrics* metrics = new ServeMetrics();  // never freed
+  return *metrics;
+}
+
+/// Records the per-request serving counters from a finished report.
+void RecordServeReport(const ServeReport& report) {
+  ServeMetrics& m = Metrics();
+  m.requests.Increment();
+  (report.execution_verified ? m.verified : m.unverified).Increment();
+  if (report.repair_attempts > 0) {
+    m.repair_attempts.Increment(static_cast<uint64_t>(report.repair_attempts));
+  }
+  for (ServeRung rung : report.rungs) {
+    m.rung_fired[static_cast<int>(rung)]->Increment();
+  }
+  // Outcome = the most degraded rung that fired (rungs are declared in
+  // escalation order), or clean.
+  if (report.rungs.empty()) {
+    m.outcome_clean.Increment();
+    return;
+  }
+  int worst = 0;
+  for (ServeRung rung : report.rungs) {
+    worst = std::max(worst, static_cast<int>(rung));
+  }
+  m.outcome[worst]->Increment();
+}
 
 /// Stable 64-bit hash of a string (FNV-1a), used to derive per-sample
 /// generation seeds so predictions are deterministic.
@@ -245,6 +305,12 @@ std::string CodesPipeline::PredictGuarded(const Text2SqlBenchmark& bench,
                                           const Text2SqlSample& sample,
                                           const ServeOptions& options,
                                           ServeReport* report) const {
+  // Root span of the request tree; the stage spans below nest inside it.
+  // On destruction (function exit) its duration lands in
+  // span.pipeline.predict, and RecordServeReport has already classified
+  // the outcome.
+  CODES_TRACE_SPAN(predict_span, "pipeline.predict");
+
   ServeReport scratch;
   ServeReport& rep = report != nullptr ? *report : scratch;
   rep = ServeReport();
@@ -257,7 +323,12 @@ std::string CodesPipeline::PredictGuarded(const Text2SqlBenchmark& bench,
   ExecGuard guard(options.limits, options.cancel);
 
   const sql::Database& db = bench.DbOf(sample);
-  DatabasePrompt prompt = BuildPromptInternal(bench, sample, &guard, &rep);
+  DatabasePrompt prompt = [&] {
+    // Stage span: end-to-end prompt construction (classifier, value
+    // retrieval, and serialization nest inside).
+    CODES_TRACE_SPAN(prompt_span, "pipeline.prompt_build");
+    return BuildPromptInternal(bench, sample, &guard, &rep);
+  }();
 
   GenerationInput input;
   input.db = &db;
@@ -270,7 +341,15 @@ std::string CodesPipeline::PredictGuarded(const Text2SqlBenchmark& bench,
 
   // Candidate execution happens in the repair loop below, under the
   // guard; skip the model's own unguarded execution probe.
-  auto beam = model_.GenerateBeam(input, seed, /*mark_executable=*/false);
+  auto beam = [&] {
+    // Stage span: LM beam decoding.
+    CODES_TRACE_SPAN(generation_span, "pipeline.generation");
+    return model_.GenerateBeam(input, seed, /*mark_executable=*/false);
+  }();
+
+  // Stage span: candidate verification + repair loop (guarded execution
+  // of beam candidates, including any backoff sleeps).
+  CODES_TRACE_SPAN(verify_span, "pipeline.verify");
 
   // Ladder rung 3: walk the beam in rank order and serve the first
   // candidate that decodes and executes under the guard. Every failed
@@ -292,6 +371,7 @@ std::string CodesPipeline::PredictGuarded(const Text2SqlBenchmark& bench,
       double ms = ComputeBackoffMs(attempts, options.backoff_base_ms,
                                    options.backoff_cap_ms);
       if (ms > 0.0) {
+        Metrics().backoff_sleeps.Increment();
         std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
       }
     }
@@ -310,6 +390,7 @@ std::string CodesPipeline::PredictGuarded(const Text2SqlBenchmark& bench,
       rep.candidate_rank = static_cast<int>(i);
       rep.execution_verified = true;
       rep.final_status = Status::Ok();
+      RecordServeReport(rep);
       return sql;
     }
     last_error = exec_status;
@@ -323,6 +404,7 @@ std::string CodesPipeline::PredictGuarded(const Text2SqlBenchmark& bench,
     // unverified, exactly as the unguarded path would.
     rep.candidate_rank = fallback_rank;
     rep.final_status = last_error;
+    RecordServeReport(rep);
     return fallback_sql;
   }
 
@@ -332,6 +414,7 @@ std::string CodesPipeline::PredictGuarded(const Text2SqlBenchmark& bench,
   rep.candidate_rank = -1;
   rep.final_status =
       last_error.ok() ? Status::NotFound("empty beam") : last_error;
+  RecordServeReport(rep);
   return EmergencySql(db);
 }
 

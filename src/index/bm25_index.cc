@@ -5,6 +5,7 @@
 
 #include "common/failpoint.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "text/tokenize.h"
 
 namespace codes {
@@ -33,7 +34,10 @@ int Bm25Index::AddDocument(std::string_view text) {
   }
   doc_lengths_.push_back(static_cast<int>(tokens.size()));
   doc_texts_.emplace_back(text);
-  finalized_ = false;
+  // Every mutation stales the whole IDF table (idf depends on the total
+  // document count, not just the new document's terms); mark dirty so
+  // the next Query recomputes instead of scoring with stale statistics.
+  finalized_.store(false, std::memory_order_release);
   return doc_id;
 }
 
@@ -48,12 +52,23 @@ void Bm25Index::Finalize() {
     double df = static_cast<double>(posting_list.size());
     idf_[term] = std::log(1.0 + (n - df + 0.5) / (df + 0.5));
   }
-  finalized_ = true;
+  finalized_.store(true, std::memory_order_release);
+}
+
+void Bm25Index::EnsureFinalized() const {
+  if (finalized_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(finalize_mu_);
+  if (finalized_.load(std::memory_order_acquire)) return;  // lost the race
+  static Counter& refinalizes =
+      MetricsRegistry::Global().GetCounter("bm25.lazy_refinalizes");
+  refinalizes.Increment();
+  const_cast<Bm25Index*>(this)->Finalize();
 }
 
 std::vector<Bm25Hit> Bm25Index::Query(std::string_view query,
                                       int top_k) const {
-  CODES_CHECK(finalized_);
+  CODES_TRACE_SPAN(span, "bm25.lookup");
+  EnsureFinalized();
   // An injected lookup failure degrades to "no coarse candidates": the
   // value retriever then matches nothing and the prompt carries no values,
   // which is exactly the production behaviour when a search backend is out.

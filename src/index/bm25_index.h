@@ -1,6 +1,8 @@
 #ifndef CODES_INDEX_BM25_INDEX_H_
 #define CODES_INDEX_BM25_INDEX_H_
 
+#include <atomic>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -21,11 +23,37 @@ struct Bm25Hit {
 /// values; queries are user questions; the index returns the top-k
 /// candidate values for fine-grained LCS re-ranking.
 ///
-/// Usage: AddDocument() for every value, Finalize(), then Query().
+/// Usage: AddDocument() for every value, then Query(). Finalize() may be
+/// called explicitly to front-load the IDF computation; otherwise the
+/// first Query after a mutation re-finalizes lazily, so incremental adds
+/// score exactly like a from-scratch build (IDF depends on the total
+/// document count, so every mutation invalidates every term's IDF — a
+/// stale table here silently mis-ranks).
+///
+/// Thread-safety: concurrent Query calls are safe (including the lazy
+/// re-finalization, which is serialized internally). AddDocument must
+/// not race with Query — same setup-then-serve contract as the rest of
+/// the library.
 class Bm25Index {
  public:
   /// Standard Okapi parameters.
   explicit Bm25Index(double k1 = 1.2, double b = 0.75) : k1_(k1), b_(b) {}
+
+  Bm25Index(Bm25Index&& other) noexcept { *this = std::move(other); }
+  Bm25Index& operator=(Bm25Index&& other) noexcept {
+    if (this != &other) {
+      k1_ = other.k1_;
+      b_ = other.b_;
+      finalized_.store(other.finalized_.load(std::memory_order_acquire),
+                       std::memory_order_release);
+      avg_doc_length_ = other.avg_doc_length_;
+      doc_lengths_ = std::move(other.doc_lengths_);
+      doc_texts_ = std::move(other.doc_texts_);
+      postings_ = std::move(other.postings_);
+      idf_ = std::move(other.idf_);
+    }
+    return *this;
+  }
 
   /// Adds a document and returns its id (dense, starting at 0).
   /// Tokens are stemmed words plus 3-character-grams, so that partial
@@ -35,9 +63,9 @@ class Bm25Index {
   /// Number of indexed documents.
   int NumDocuments() const { return static_cast<int>(doc_lengths_.size()); }
 
-  /// Computes IDF statistics. Must be called after the last AddDocument
-  /// and before the first Query; subsequent AddDocument calls require
-  /// re-finalization.
+  /// Computes IDF statistics over the current document set. Optional:
+  /// Query() re-finalizes lazily whenever a mutation left the index
+  /// dirty. Idempotent.
   void Finalize();
 
   /// Returns the `top_k` highest-scoring documents for `query`, sorted by
@@ -52,6 +80,10 @@ class Bm25Index {
  private:
   static std::vector<std::string> Analyze(std::string_view text);
 
+  /// Serializes the lazy re-finalization when concurrent Query calls hit
+  /// a dirty index at the same time (double-checked on `finalized_`).
+  void EnsureFinalized() const;
+
   struct Posting {
     int doc_id;
     int term_freq;
@@ -59,12 +91,17 @@ class Bm25Index {
 
   double k1_;
   double b_;
-  bool finalized_ = false;
-  double avg_doc_length_ = 0;
+  /// Release-store on finalize / acquire-load in Query: a query that
+  /// sees `true` also sees the idf_ table it guards.
+  mutable std::atomic<bool> finalized_{false};
+  mutable std::mutex finalize_mu_;
+  /// IDF state is derived from postings_ and may be (re)computed from a
+  /// const Query via EnsureFinalized.
+  mutable double avg_doc_length_ = 0;
   std::vector<int> doc_lengths_;
   std::vector<std::string> doc_texts_;
   std::unordered_map<std::string, std::vector<Posting>> postings_;
-  std::unordered_map<std::string, double> idf_;
+  mutable std::unordered_map<std::string, double> idf_;
 };
 
 }  // namespace codes

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/string_util.h"
+#include "common/trace.h"
 
 namespace codes {
 
@@ -56,6 +57,10 @@ DatabasePrompt PromptBuilder::Build(
   std::vector<std::vector<int>> kept_columns;
 
   if (options_.use_schema_filter && classifier_ != nullptr) {
+    // Stage span: schema filtering — classifier scoring + top-k1/k2
+    // selection (the "schema item classifier" column of the paper's
+    // latency breakdown).
+    CODES_TRACE_SPAN(span, "pipeline.classifier");
     // Score and keep top-k1 tables.
     std::vector<std::pair<double, int>> table_scores;
     for (size_t t = 0; t < schema.tables.size(); ++t) {
@@ -204,14 +209,19 @@ DatabasePrompt PromptBuilder::Serialize(
   prompt.representative_value_count = options_.representative_values;
 
   // Retrieve question-matched values first; they are serialized at the end
-  // but are part of the token budget.
+  // but are part of the token budget. Stage span: "value retrieval" in
+  // the per-stage latency breakdown (BM25 coarse lookup + LCS fine rank
+  // nest inside it).
   if (options_.use_value_retriever && value_retriever != nullptr) {
+    CODES_TRACE_SPAN(span, "pipeline.value_retrieval");
     prompt.matched_values = value_retriever->Retrieve(
         question, options_.value_coarse_k, options_.value_fine_k);
   }
 
   // Serialize table blocks under the token budget; tables or columns that
-  // do not fit are dropped from the kept sets (truncation).
+  // do not fit are dropped from the kept sets (truncation). Stage span:
+  // prompt text construction proper (schema rendering + budgeting).
+  CODES_TRACE_SPAN(serialize_span, "pipeline.prompt_serialize");
   std::string text = "database " + schema.name + "\n";
   int budget = options_.max_prompt_tokens;
   budget -= CountPromptTokens(text) + CountPromptTokens(question);

@@ -5,6 +5,7 @@
 
 #include "common/failpoint.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 #include "text/similarity.h"
 #include "text/tokenize.h"
 
@@ -32,6 +33,7 @@ void ValueRetriever::BuildIndex(const sql::Database& db) {
 
 Status ValueRetriever::TryBuildIndex(const sql::Database& db, ExecGuard* guard,
                                      bool check_failpoint) {
+  CODES_TRACE_SPAN(span, "value_retriever.build_index");
   entries_.clear();
   index_ = Bm25Index();
   if (check_failpoint &&
@@ -71,6 +73,7 @@ Status ValueRetriever::TryBuildIndex(const sql::Database& db, ExecGuard* guard,
 std::vector<RetrievedValue> ValueRetriever::FineRank(
     const std::string& question, const std::vector<int>& candidates,
     int fine_k) const {
+  CODES_TRACE_SPAN(span, "value_retriever.fine_rank");
   std::vector<RetrievedValue> ranked;
   ranked.reserve(candidates.size());
   for (int idx : candidates) {

@@ -42,6 +42,22 @@ TEST(StringUtilTest, CaseConversion) {
   EXPECT_EQ(ToUpper("SeLeCt"), "SELECT");
 }
 
+TEST(StringUtilTest, CaseConversionLeavesUtf8BytesUntouched) {
+  // Folding is ASCII-only by construction: bytes >= 0x80 (UTF-8
+  // continuation and lead bytes) pass through byte-exact. A locale-aware
+  // tolower would corrupt them — the regression this test pins is the LCS
+  // re-ranker mangling accented and CJK values.
+  EXPECT_EQ(ToLower("Caf\xC3\xA9 MAYOR"), "caf\xC3\xA9 mayor");
+  EXPECT_EQ(ToUpper("caf\xC3\xA9 mayor"), "CAF\xC3\xA9 MAYOR");
+  // Accented capitals are NOT folded (ASCII-only contract), just preserved:
+  // É is 0xC3 0x89 and both bytes stay put while ASCII letters fold.
+  EXPECT_EQ(ToLower("\xC3\x89" "COLE"), "\xC3\x89" "cole");
+  // CJK text round-trips byte-exact.
+  const std::string cjk = "\xE5\x8C\x97\xE4\xBA\xAC";  // 北京
+  EXPECT_EQ(ToLower("City " + cjk), "city " + cjk);
+  EXPECT_EQ(ToUpper("city " + cjk), "CITY " + cjk);
+}
+
 TEST(StringUtilTest, Trim) {
   EXPECT_EQ(Trim("  hi \n"), "hi");
   EXPECT_EQ(Trim(""), "");

@@ -139,6 +139,52 @@ TEST(Bm25Test, CharTrigramsEnablePartialMatch) {
   EXPECT_EQ(hits[0].doc_id, target);
 }
 
+TEST(Bm25Test, IncrementalAddScoresLikeFreshBuild) {
+  // Regression: documents added after Finalize() used to score with stale
+  // (or missing) idf tables. The index now re-finalizes lazily on the
+  // first Query after a mutation, so an incremental add must be
+  // indistinguishable from building the whole index from scratch.
+  const std::vector<std::string> initial = {"Jesenik", "Prague",
+                                            "Sarah Martinez", "road losses"};
+  const std::vector<std::string> added = {"Jesenik branch office",
+                                          "Prague castle district"};
+  const std::string question = "clients of the Jesenik branch office";
+
+  Bm25Index incremental;
+  for (const auto& doc : initial) incremental.AddDocument(doc);
+  incremental.Finalize();
+  // A query between mutations must not pin the stale idf tables.
+  (void)incremental.Query(question, 3);
+  for (const auto& doc : added) incremental.AddDocument(doc);
+  auto incremental_hits = incremental.Query(question, 10);
+
+  Bm25Index fresh;
+  for (const auto& doc : initial) fresh.AddDocument(doc);
+  for (const auto& doc : added) fresh.AddDocument(doc);
+  fresh.Finalize();
+  auto fresh_hits = fresh.Query(question, 10);
+
+  ASSERT_EQ(incremental_hits.size(), fresh_hits.size());
+  ASSERT_FALSE(incremental_hits.empty());
+  for (size_t i = 0; i < fresh_hits.size(); ++i) {
+    EXPECT_EQ(incremental_hits[i].doc_id, fresh_hits[i].doc_id) << i;
+    EXPECT_DOUBLE_EQ(incremental_hits[i].score, fresh_hits[i].score) << i;
+  }
+  EXPECT_EQ(incremental.DocumentText(incremental_hits[0].doc_id),
+            "Jesenik branch office");
+}
+
+TEST(Bm25Test, QueryBeforeFinalizeIsImplicitlyFinalized) {
+  Bm25Index index;
+  index.AddDocument("alpha beta");
+  index.AddDocument("gamma delta");
+  // No explicit Finalize(): the first Query must lazily finalize rather
+  // than abort (the old contract CODES_CHECK-failed here).
+  auto hits = index.Query("alpha", 2);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(index.DocumentText(hits[0].doc_id), "alpha beta");
+}
+
 TEST(Bm25Test, DeterministicOrderOnTies) {
   Bm25Index index;
   index.AddDocument("red apple");

@@ -173,6 +173,43 @@ TEST(ValueRetrieverTest, ShortValuesRequireWholeWordMatch) {
   EXPECT_EQ(hit[0].text, "east");
 }
 
+TEST(ValueRetrieverTest, Utf8ValuesSurviveIndexingAndReranking) {
+  // Regression: the LCS re-ranker lowercases question and value before
+  // matching. A locale-aware byte-wise tolower corrupts multi-byte UTF-8,
+  // so accented and CJK values either missed or came back mangled. The
+  // folding is now ASCII-only and values must round-trip byte-exact.
+  sql::DatabaseSchema schema;
+  schema.name = "intl";
+  sql::TableDef t;
+  t.name = "places";
+  t.columns = {{"id", sql::DataType::kInteger, "", true},
+               {"name", sql::DataType::kText, "", false}};
+  schema.tables.push_back(t);
+  sql::Database db(std::move(schema));
+  const std::string accented = "Caf\xC3\xA9 Mayor";         // Café Mayor
+  const std::string cjk = "\xE5\x8C\x97\xE4\xBA\xAC\xE5\xB8\x82";  // 北京市
+  ASSERT_TRUE(
+      db.Insert("places", {sql::Value(int64_t{1}), sql::Value(accented)}).ok());
+  ASSERT_TRUE(
+      db.Insert("places", {sql::Value(int64_t{2}), sql::Value(cjk)}).ok());
+  ASSERT_TRUE(db.Insert("places", {sql::Value(int64_t{3}),
+                                   sql::Value("Plain Diner")})
+                  .ok());
+  ValueRetriever retriever;
+  retriever.BuildIndex(db);
+
+  auto accented_hits =
+      retriever.Retrieve("how many people visit caf\xC3\xA9 mayor?");
+  ASSERT_FALSE(accented_hits.empty());
+  EXPECT_EQ(accented_hits[0].text, accented);  // byte-exact, original case
+  EXPECT_GE(accented_hits[0].score, 0.9);
+
+  auto cjk_hits = retriever.Retrieve("list stations in " + cjk);
+  ASSERT_FALSE(cjk_hits.empty());
+  EXPECT_EQ(cjk_hits[0].text, cjk);
+  EXPECT_GE(cjk_hits[0].score, 0.9);
+}
+
 // ------------------------------------------------- demonstration retriever
 
 TEST(DemonstrationRetrieverTest, PatternSimilarityIgnoresEntities) {

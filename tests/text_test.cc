@@ -79,6 +79,21 @@ TEST(SimilarityTest, LongestCommonSubsequence) {
   EXPECT_EQ(LongestCommonSubsequenceLength("abc", ""), 0);
 }
 
+TEST(SimilarityTest, Utf8ValuesMatchByteExact) {
+  // Case folding inside the matchers is ASCII-only, so multi-byte UTF-8
+  // sequences compare byte-exact regardless of locale — an accented value
+  // in a question must fully match the same indexed value.
+  EXPECT_DOUBLE_EQ(LcsMatchDegree("Caf\xC3\xA9 Mayor", "caf\xC3\xA9 mayor"),
+                   1.0);
+  const std::string cjk = "\xE5\x8C\x97\xE4\xBA\xAC";  // 北京
+  EXPECT_DOUBLE_EQ(LcsMatchDegree(cjk, "the city of " + cjk), 1.0);
+  EXPECT_EQ(LongestCommonSubstringLength(cjk, "near " + cjk + " station"),
+            static_cast<int>(cjk.size()));
+  // Different accented characters share the lead byte 0xC3 but must not
+  // fully match: é (0xC3 0xA9) vs è (0xC3 0xA8).
+  EXPECT_LT(LcsMatchDegree("caf\xC3\xA9", "caf\xC3\xA8"), 1.0);
+}
+
 TEST(SimilarityTest, EditDistance) {
   EXPECT_EQ(EditDistance("kitten", "sitting"), 3);
   EXPECT_EQ(EditDistance("", "abc"), 3);

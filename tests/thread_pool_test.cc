@@ -7,6 +7,7 @@
 #include <mutex>
 #include <numeric>
 #include <set>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -114,6 +115,62 @@ TEST(ThreadPoolTest, ParallelForShardsAreContiguousAndBalanced) {
     expected_begin = end;
   }
   EXPECT_EQ(expected_begin, 10u);
+}
+
+TEST(ThreadPoolTest, WaitRethrowsFirstTaskException) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  pool.Submit([&] { completed.fetch_add(1); });
+  pool.Submit([] { throw std::runtime_error("task failed"); });
+  pool.Submit([&] { completed.fetch_add(1); });
+  // The exception surfaces from Wait(), after the queue has drained: the
+  // other tasks still ran.
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  EXPECT_EQ(completed.load(), 2);
+}
+
+TEST(ThreadPoolTest, PoolIsCleanAndReusableAfterRethrow) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The rethrow harvested the exception; subsequent rounds are clean.
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  EXPECT_NO_THROW(pool.Wait());
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPoolTest, OnlyFirstOfSeveralExceptionsIsRethrown) {
+  ThreadPool pool(1);  // one worker: deterministic task order
+  pool.Submit([] { throw std::runtime_error("first"); });
+  pool.Submit([] { throw std::logic_error("second"); });
+  try {
+    pool.Wait();
+    FAIL() << "Wait() should have rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+  // The later exception was counted and dropped, not left pending.
+  EXPECT_NO_THROW(pool.Wait());
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesShardException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(100,
+                                [](size_t begin, size_t) {
+                                  if (begin == 0) {
+                                    throw std::runtime_error("shard failed");
+                                  }
+                                }),
+               std::runtime_error);
+  // Still usable for the next ParallelFor.
+  std::atomic<int> covered{0};
+  pool.ParallelFor(100, [&](size_t begin, size_t end) {
+    covered.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(covered.load(), 100);
 }
 
 TEST(ThreadPoolTest, TasksRunOffTheCallingThread) {

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/failpoint.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "core/model_zoo.h"
 #include "core/pipeline.h"
@@ -42,6 +43,7 @@ struct Flags {
   double rate = 0.01;
   size_t max_rows = 20000;
   std::string spec;  ///< overrides the --rate-derived spec when non-empty
+  std::string metrics_out;  ///< JSON metrics snapshot path (optional)
   bool smoke = false;
   bool selfcheck = false;
 };
@@ -62,7 +64,8 @@ void Usage() {
   std::fprintf(stderr,
                "usage: codes_chaos [--queries=N] [--threads=N] [--seed=S]\n"
                "                   [--rate=P] [--spec=SPEC] [--max-rows=N]\n"
-               "                   [--selfcheck] [--smoke]\n");
+               "                   [--metrics-out=PATH] [--selfcheck]\n"
+               "                   [--smoke]\n");
 }
 
 /// FNV-1a over the campaign's (sql, report) lines in sample order; the
@@ -190,6 +193,8 @@ int main(int argc, char** argv) {
           std::strtoull(value.c_str(), nullptr, 10));
     } else if (ParseFlag(argv[i], "--spec", &value)) {
       flags.spec = value;
+    } else if (ParseFlag(argv[i], "--metrics-out", &value)) {
+      flags.metrics_out = value;
     } else if (ParseFlag(argv[i], "--selfcheck", &value)) {
       flags.selfcheck = true;
     } else if (ParseFlag(argv[i], "--smoke", &value)) {
@@ -233,8 +238,15 @@ int main(int argc, char** argv) {
   pipeline.TrainClassifier(bench);
   pipeline.FineTune(bench);
 
+  // Setup (training, cache warm-up) is done: zero the registry so the
+  // exported snapshot covers exactly the campaign's requests.
+  codes::MetricsRegistry::Global().Reset();
+
   CampaignResult result =
       RunCampaign(pipeline, bench, flags, spec, flags.threads);
+  // Snapshot immediately after the campaign, before the selfcheck replay
+  // adds its own requests.
+  codes::MetricsSnapshot snapshot = codes::MetricsRegistry::Global().Snapshot();
   PrintResult(result, spec, flags.seed);
 
   int exit_code = 0;
@@ -244,10 +256,46 @@ int main(int argc, char** argv) {
     exit_code = 1;
   }
 
+  // Metrics invariant: every request lands in exactly one serve.outcome.*
+  // counter, so the family sums to the number of queries served.
+  {
+    uint64_t outcome_sum = 0;
+    for (const auto& [name, value] : snapshot.counters) {
+      if (name.rfind("serve.outcome.", 0) == 0) outcome_sum += value;
+    }
+    uint64_t requests = snapshot.counters.count("serve.requests")
+                            ? snapshot.counters.at("serve.requests")
+                            : 0;
+    if (outcome_sum != result.queries || requests != result.queries) {
+      std::printf("INVARIANT VIOLATION: outcome counters sum to %" PRIu64
+                  ", serve.requests=%" PRIu64 ", but %" PRIu64
+                  " queries were served\n",
+                  outcome_sum, requests, result.queries);
+      exit_code = 1;
+    } else {
+      std::printf("metrics: serve.outcome.* sums to %" PRIu64
+                  " == queries served\n",
+                  outcome_sum);
+    }
+  }
+  if (!flags.metrics_out.empty()) {
+    std::FILE* out = std::fopen(flags.metrics_out.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", flags.metrics_out.c_str());
+      return 2;
+    }
+    std::string json = snapshot.ToJson() + "\n";
+    std::fwrite(json.data(), 1, json.size(), out);
+    std::fclose(out);
+    std::fprintf(stderr, "metrics snapshot written to %s\n",
+                 flags.metrics_out.c_str());
+  }
+
   if (flags.selfcheck) {
     // The whole campaign must replay byte-identically single-threaded:
     // fault decisions and ladder outcomes depend on (seed, sample), never
     // on scheduling.
+    codes::MetricsRegistry::Global().Reset();
     CampaignResult serial = RunCampaign(pipeline, bench, flags, spec, 1);
     if (serial.digest == result.digest) {
       std::printf("selfcheck: 1-thread replay digest matches\n");

@@ -19,6 +19,7 @@
 #include <fstream>
 #include <string>
 
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "fuzz/fuzz_harness.h"
@@ -37,6 +38,7 @@ struct Flags {
   bool shrink = true;
   std::string replay;    ///< corpus file to replay
   std::string out;       ///< write reproducer lines here
+  std::string metrics_out;  ///< JSON metrics snapshot path (optional)
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* value) {
@@ -55,7 +57,8 @@ void Usage() {
   std::fprintf(stderr,
                "usage: codes_fuzz [--queries=N] [--threads=N] [--seed=S]\n"
                "                  [--databases=N] [--schema=M] [--smoke]\n"
-               "                  [--replay=FILE] [--out=FILE] [--no-shrink]\n");
+               "                  [--replay=FILE] [--out=FILE] [--no-shrink]\n"
+               "                  [--metrics-out=PATH]\n");
 }
 
 int RunSingle(const Flags& flags) {
@@ -188,6 +191,8 @@ int main(int argc, char** argv) {
       flags.replay = value;
     } else if (ParseFlag(argv[i], "--out", &value)) {
       flags.out = value;
+    } else if (ParseFlag(argv[i], "--metrics-out", &value)) {
+      flags.metrics_out = value;
     } else if (ParseFlag(argv[i], "--smoke", &value)) {
       flags.smoke = true;
     } else if (ParseFlag(argv[i], "--no-shrink", &value)) {
@@ -210,7 +215,26 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  if (!flags.replay.empty()) return RunReplay(flags);
-  if (flags.schema >= 0) return RunSingle(flags);
-  return RunCampaign(flags);
+  int exit_code;
+  if (!flags.replay.empty()) {
+    exit_code = RunReplay(flags);
+  } else if (flags.schema >= 0) {
+    exit_code = RunSingle(flags);
+  } else {
+    exit_code = RunCampaign(flags);
+  }
+
+  // Machine-readable per-stage/guard/pool breakdown of the run (executor
+  // guard consumption, thread-pool wait times, BM25 activity).
+  if (!flags.metrics_out.empty()) {
+    std::ofstream metrics(flags.metrics_out);
+    if (!metrics.is_open()) {
+      std::fprintf(stderr, "cannot write %s\n", flags.metrics_out.c_str());
+      return 2;
+    }
+    metrics << codes::MetricsRegistry::Global().SnapshotJson();
+    std::fprintf(stderr, "metrics snapshot written to %s\n",
+                 flags.metrics_out.c_str());
+  }
+  return exit_code;
 }
