@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include <set>
+#include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -25,6 +26,8 @@
 #include "core/pipeline.h"
 #include "dataset/benchmark_builder.h"
 #include "eval/parallel_eval.h"
+#include "serve/front_end.h"
+#include "serve/load_gen.h"
 
 namespace codes {
 namespace {
@@ -280,6 +283,143 @@ void ChaosTailLatencySection(const Text2SqlBenchmark& bench,
       "re-executions; the clean median must not move.\n");
 }
 
+/// Goodput as offered load sweeps past saturation: open-loop virtual-time
+/// campaigns through the serving front end at several multiples of the
+/// level-0 capacity. An unprotected open-loop server collapses past 1x
+/// (every request eventually misses its deadline inside an unbounded
+/// backlog); with admission control, deadline shedding, and brownout the
+/// goodput curve must stay flat instead — the 2x point is required to
+/// hold >= 90% of the best goodput seen at or below it. The table also
+/// records the shed/reject
+/// rate and where served requests landed on the brownout ladder.
+void OverloadGoodputSection(const Text2SqlBenchmark& bench,
+                            const CodesPipeline& pipeline) {
+  bench::Banner("Overload goodput: offered load vs served-in-deadline");
+
+  serve::LoadGenOptions base;
+  base.seed = 20240806;
+  base.num_requests = 600;
+  base.virtual_workers = 4;
+  base.service_base_us = 20'000;  // level-0 capacity: 4 / 20 ms = 200 qps
+  base.deadline_us = 200'000;
+  base.threads = 4;
+  const double capacity_qps = 1e6 * base.virtual_workers /
+                              static_cast<double>(base.service_base_us);
+  std::printf("level-0 capacity: %.0f qps (%d virtual workers x %.0f ms)\n",
+              capacity_qps, base.virtual_workers,
+              base.service_base_us / 1000.0);
+
+  bench::TablePrinter table({10, 10, 10, 10, 8, 10, 20});
+  table.Row({"offered", "goodput", "shed+rej%", "late%", "deg", "rec",
+             "served L0..L4"});
+  table.Separator();
+  double peak_goodput = 0.0;
+  double goodput_at_2x = 0.0;
+  for (double mult : {0.5, 1.0, 1.5, 2.0, 3.0}) {
+    serve::LoadGenOptions options = base;
+    options.offered_qps = capacity_qps * mult;
+    serve::LoadReport report = serve::RunLoadCampaign(pipeline, bench, options);
+    double goodput = report.GoodputQps();
+    // Peak over offered <= 2x: the asserted point must not sit in a
+    // collapse relative to anything before it. (Brownout keeps goodput
+    // *rising* past 2x — served requests get cheaper — so the 3x row is
+    // informational, not part of the budget.)
+    if (mult <= 2.0) peak_goodput = std::max(peak_goodput, goodput);
+    if (mult == 2.0) goodput_at_2x = goodput;
+    uint64_t dropped = report.rejected_rate + report.rejected_queue_full +
+                       report.shed_deadline + report.shed_drain;
+    std::string levels;
+    for (int level = 0; level < serve::kNumBrownoutLevels; ++level) {
+      if (level > 0) levels += "/";
+      levels += std::to_string(report.served_at_level[level]);
+    }
+    table.Row({FormatDouble(options.offered_qps, 0), FormatDouble(goodput, 1),
+               bench::Pct(static_cast<double>(dropped) / report.offered) + "%",
+               bench::Pct(static_cast<double>(report.served_late) /
+                          report.offered) +
+                   "%",
+               std::to_string(report.brownout_degrades),
+               std::to_string(report.brownout_recoveries), levels});
+  }
+  double retained = 100.0 * goodput_at_2x / peak_goodput;
+  std::printf(
+      "\ngoodput at 2x saturation: %.1f qps = %.1f%% of the peak over "
+      "offered <= 2x (budget: >= 90%%)\n"
+      "past 1x the queue saturates, deadline shedding discards doomed "
+      "requests before they cost pipeline time, and brownout moves served "
+      "traffic to cheaper richness levels.\n",
+      goodput_at_2x, retained);
+  CODES_CHECK(retained >= 90.0);
+}
+
+/// The serving front door's own cost: PredictGuarded called directly vs
+/// through ServeFrontEnd::Serve with every protection active but nothing
+/// tripping (no rate limit, near-empty queue so brownout stays at level 0,
+/// breaker threshold set unreachable). The difference is pure admission
+/// bookkeeping — token bucket, breaker consults, brownout update, serve.*
+/// metrics — and must stay within the same <= 2% budget as the guards.
+void AdmissionOverheadSection(const Text2SqlBenchmark& bench,
+                              const CodesPipeline& pipeline, int queries) {
+  bench::Banner("Admission overhead: PredictGuarded vs front-end Serve");
+
+  serve::FrontEndOptions fe;
+  fe.limits.max_rows = 50'000'000;
+  fe.limits.max_bytes = static_cast<size_t>(1) << 40;
+  fe.limits.max_depth = 64;
+  fe.admission.queue_capacity = 4096;  // fullness ~0: brownout never moves
+  fe.breaker.failure_threshold = 1.1;  // ratio tops out at 1.0: never trips
+  serve::ServeFrontEnd front_end(&pipeline, &bench, fe);
+
+  ServeOptions direct;
+  direct.limits = fe.limits;
+
+  auto run_direct = [&]() {
+    Timer timer;
+    int n = 0;
+    while (n < queries) {
+      for (const auto& sample : bench.dev) {
+        if (n >= queries) break;
+        (void)pipeline.PredictGuarded(bench, sample, direct);
+        ++n;
+      }
+    }
+    return timer.ElapsedSeconds();
+  };
+  auto run_served = [&]() {
+    Timer timer;
+    int n = 0;
+    while (n < queries) {
+      for (const auto& sample : bench.dev) {
+        if (n >= queries) break;
+        std::string sql;
+        (void)front_end.Serve(sample, &sql);
+        ++n;
+      }
+    }
+    return timer.ElapsedSeconds();
+  };
+
+  // Interleaved best-of-3, exactly like the guard section: ambient noise
+  // must not masquerade as front-end cost.
+  double best_direct = run_direct();
+  double best_served = run_served();
+  for (int rep = 1; rep < 3; ++rep) {
+    best_direct = std::min(best_direct, run_direct());
+    best_served = std::min(best_served, run_served());
+  }
+  double overhead_pct = 100.0 * (best_served - best_direct) / best_direct;
+
+  bench::TablePrinter table({24, 12, 14});
+  table.Row({"path", "seconds", "ms / sample"});
+  table.Separator();
+  table.Row({"PredictGuarded", FormatDouble(best_direct, 3),
+             FormatDouble(1000.0 * best_direct / queries, 3)});
+  table.Row({"ServeFrontEnd::Serve", FormatDouble(best_served, 3),
+             FormatDouble(1000.0 * best_served / queries, 3)});
+  std::printf("\nadmission overhead: %+.2f%% (budget: <= 2%%)\n",
+              overhead_pct);
+}
+
 void Run() {
   bench::Banner("Table 1: model capacity profiles");
   bench::TablePrinter arch({12, 8, 8, 8, 8, 8, 8, 8});
@@ -342,6 +482,8 @@ void Run() {
     StageAttributionSection(spider, pipeline, /*queries=*/300);
     InstrumentationOverheadSection(spider, pipeline, /*queries=*/300);
     ChaosTailLatencySection(spider, pipeline, /*queries=*/500);
+    OverloadGoodputSection(spider, pipeline);
+    AdmissionOverheadSection(spider, pipeline, /*queries=*/300);
   }
 }
 

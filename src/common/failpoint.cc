@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdlib>
 #include <string_view>
+#include <vector>
 
 #include "common/string_util.h"
 
@@ -78,9 +79,11 @@ Status ParseOneSpec(std::string_view entry, FailpointSpec* spec) {
   }
   std::string arg(entry.substr(colon + 1));
   if (kind == "prob") {
-    char* end = nullptr;
-    double p = std::strtod(arg.c_str(), &end);
-    if (end == arg.c_str() || *end != '\0' || p < 0.0 || p > 1.0) {
+    // ParseFiniteDouble, not strtod: "prob:nan" fails both range
+    // comparisons below (NaN compares false to everything) and used to
+    // slip through as a never-firing armed site.
+    double p = 0.0;
+    if (!ParseFiniteDouble(arg, &p) || p < 0.0 || p > 1.0) {
       return Status::InvalidArgument("bad probability '" + arg + "'");
     }
     spec->trigger = FailpointSpec::Trigger::kProbability;
@@ -88,9 +91,8 @@ Status ParseOneSpec(std::string_view entry, FailpointSpec* spec) {
     return Status::Ok();
   }
   if (kind == "nth") {
-    char* end = nullptr;
-    unsigned long long n = std::strtoull(arg.c_str(), &end, 10);
-    if (end == arg.c_str() || *end != '\0' || n == 0) {
+    uint64_t n = 0;
+    if (!ParseUint64(arg, &n) || n == 0) {
       return Status::InvalidArgument("bad nth '" + arg + "'");
     }
     spec->trigger = FailpointSpec::Trigger::kEveryNth;
@@ -131,14 +133,29 @@ void Failpoints::Arm(FailpointSite site, const FailpointSpec& spec,
   r.enabled.store(true, std::memory_order_release);
 }
 
-Status Failpoints::Configure(const std::string& spec, uint64_t seed) {
-  Clear();
-  Registry& r = GetRegistry();
-  r.seed = seed;
-  bool any = false;
-  for (const std::string& piece : Split(spec, ';')) {
+namespace {
+
+/// Parses `spec` into a full per-site table without touching the live
+/// registry, so a malformed spec can never leave partial state behind.
+/// (The old in-place parse wrote each entry into the registry as it went:
+/// an error midway returned with earlier specs still installed, disabled
+/// but waiting for the next Arm() to silently re-enable them.)
+Status ParseCampaignSpec(const std::string& spec,
+                         FailpointSpec (*out)[kNumFailpointSites],
+                         bool* any) {
+  std::vector<std::string> pieces = Split(spec, ';');
+  // Allow one trailing ';' ("a=oneshot;") — a common shell artifact — but
+  // reject interior empty segments, which are invariably a typo'd spec
+  // that used to arm half a campaign without a word of complaint.
+  if (pieces.size() > 1 && Trim(pieces.back()).empty()) pieces.pop_back();
+  for (const std::string& piece : pieces) {
     std::string entry = Trim(piece);
-    if (entry.empty()) continue;
+    if (entry.empty()) {
+      if (pieces.size() == 1) return Status::Ok();  // whole spec blank: no-op
+      return Status::InvalidArgument(
+          "empty failpoint segment (doubled or leading ';') in '" + spec +
+          "'");
+    }
     size_t eq = entry.find('=');
     if (eq == std::string::npos) {
       return Status::InvalidArgument("failpoint entry '" + entry +
@@ -149,8 +166,8 @@ Status Failpoints::Configure(const std::string& spec, uint64_t seed) {
     CODES_RETURN_IF_ERROR(
         ParseOneSpec(std::string_view(entry).substr(eq + 1), &parsed));
     if (name == "*") {
-      for (int i = 0; i < kNumFailpointSites; ++i) r.specs[i] = parsed;
-      any = true;
+      for (int i = 0; i < kNumFailpointSites; ++i) (*out)[i] = parsed;
+      *any = true;
       continue;
     }
     FailpointSite site = FailpointSiteByName(name);
@@ -158,9 +175,22 @@ Status Failpoints::Configure(const std::string& spec, uint64_t seed) {
       return Status::InvalidArgument("unknown failpoint site '" + name +
                                      "'");
     }
-    r.specs[static_cast<int>(site)] = parsed;
-    any = true;
+    (*out)[static_cast<int>(site)] = parsed;
+    *any = true;
   }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status Failpoints::Configure(const std::string& spec, uint64_t seed) {
+  FailpointSpec parsed[kNumFailpointSites];
+  bool any = false;
+  CODES_RETURN_IF_ERROR(ParseCampaignSpec(spec, &parsed, &any));
+  Clear();
+  Registry& r = GetRegistry();
+  r.seed = seed;
+  for (int i = 0; i < kNumFailpointSites; ++i) r.specs[i] = parsed[i];
   if (any) r.enabled.store(true, std::memory_order_release);
   return Status::Ok();
 }
@@ -222,7 +252,11 @@ Status Failpoints::ConfigureFromEnv() {
   if (spec == nullptr || *spec == '\0') return Status::Ok();
   uint64_t seed = 0;
   if (const char* s = std::getenv("CODES_FAILPOINT_SEED")) {
-    seed = std::strtoull(s, nullptr, 10);
+    if (!ParseUint64(s, &seed)) {
+      return Status::InvalidArgument(
+          std::string("CODES_FAILPOINT_SEED is not a decimal uint64: '") +
+          s + "'");
+    }
   }
   return Configure(spec, seed);
 }

@@ -1,7 +1,9 @@
 #include "common/string_util.h"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 
 namespace codes {
 
@@ -115,6 +117,71 @@ std::string FormatDouble(double value, int digits) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
   return buf;
+}
+
+namespace {
+
+/// from_chars-style strict wrapper over strto*: `s` must be non-empty and
+/// consumed in full. strtol/strtod are used (not std::from_chars<double>,
+/// which libstdc++ gained late) with an explicit end-pointer check.
+template <typename T, typename Fn>
+bool ParseFull(std::string_view s, T* out, Fn&& convert) {
+  if (s.empty()) return false;
+  // strto* skips leading whitespace; a flag value with spaces is garbage.
+  if (std::isspace(static_cast<unsigned char>(s.front()))) return false;
+  std::string buf(s);  // strto* needs a NUL terminator
+  char* end = nullptr;
+  errno = 0;
+  T value = convert(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size() || errno == ERANGE) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+bool ParseInt(std::string_view s, int* out) {
+  long value = 0;
+  if (!ParseFull<long>(s, &value,
+                       [](const char* p, char** e) { return std::strtol(p, e, 10); })) {
+    return false;
+  }
+  if (value < std::numeric_limits<int>::min() ||
+      value > std::numeric_limits<int>::max()) {
+    return false;
+  }
+  *out = static_cast<int>(value);
+  return true;
+}
+
+bool ParseUint64(std::string_view s, uint64_t* out) {
+  // strtoull accepts "-1" by wrapping; reject any sign explicitly.
+  if (!s.empty() && (s.front() == '-' || s.front() == '+')) return false;
+  unsigned long long value = 0;
+  return ParseFull<unsigned long long>(
+             s, &value,
+             [](const char* p, char** e) { return std::strtoull(p, e, 10); }) &&
+         (*out = value, true);
+}
+
+bool ParseSize(std::string_view s, size_t* out) {
+  uint64_t value = 0;
+  if (!ParseUint64(s, &value)) return false;
+  if (value > std::numeric_limits<size_t>::max()) return false;
+  *out = static_cast<size_t>(value);
+  return true;
+}
+
+bool ParseFiniteDouble(std::string_view s, double* out) {
+  double value = 0.0;
+  if (!ParseFull<double>(s, &value, [](const char* p, char** e) {
+        return std::strtod(p, e);
+      })) {
+    return false;
+  }
+  if (!std::isfinite(value)) return false;  // rejects "inf", "nan"
+  *out = value;
+  return true;
 }
 
 std::string IdentifierToPhrase(std::string_view identifier) {

@@ -41,6 +41,17 @@ bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
 /// Formats a double with `digits` digits after the decimal point.
 std::string FormatDouble(double value, int digits);
 
+/// Strict numeric parsing for flag/spec values: the whole string must be a
+/// single number (no trailing junk, no empty input) that fits the output
+/// type, otherwise the function returns false and leaves `*out` untouched.
+/// Unlike std::atoi/atof these never silently map garbage to 0, which is
+/// how a mistyped --queries flag once ran a 0-query campaign "green".
+bool ParseInt(std::string_view s, int* out);
+bool ParseUint64(std::string_view s, uint64_t* out);
+bool ParseSize(std::string_view s, size_t* out);
+/// Finite decimal doubles only ("0.25", "1e-3"); rejects inf/nan.
+bool ParseFiniteDouble(std::string_view s, double* out);
+
 /// Turns an identifier like "stu_id" or "StudentName" into a lowercase
 /// word sequence: "stu id", "student name". Used to render schema names as
 /// natural-language phrases.

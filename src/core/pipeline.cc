@@ -130,6 +130,7 @@ std::string ServeReport::ToString() const {
   out += "] repairs=" + std::to_string(repair_attempts);
   out += " rank=" + std::to_string(candidate_rank);
   out += execution_verified ? " verified" : " unverified";
+  out += " brownout=" + std::to_string(brownout_level);
   out += " status=";
   out += StatusCodeName(final_status.code());
   return out;
@@ -227,12 +228,12 @@ std::string CodesPipeline::QuestionWithEk(
 
 DatabasePrompt CodesPipeline::BuildPrompt(const Text2SqlBenchmark& bench,
                                           const Text2SqlSample& sample) const {
-  return BuildPromptInternal(bench, sample, nullptr, nullptr);
+  return BuildPromptInternal(bench, sample, nullptr, nullptr, nullptr);
 }
 
 DatabasePrompt CodesPipeline::BuildPromptInternal(
     const Text2SqlBenchmark& bench, const Text2SqlSample& sample,
-    ExecGuard* guard, ServeReport* report) const {
+    ExecGuard* guard, ServeReport* report, const ServeOptions* serve) const {
   const sql::Database& db = bench.DbOf(sample);
   std::string question = QuestionWithEk(sample);
 
@@ -247,13 +248,24 @@ DatabasePrompt CodesPipeline::BuildPromptInternal(
         options.max_prompt_tokens - config_.icl_shots * mean_demo_cost_);
   }
 
-  // Ladder rung 1: classifier unavailable (never trained/shared) or
-  // failing (injected fault) — fall back to the full, unfiltered schema.
-  // PromptBuilder already keeps everything when the classifier is null, so
-  // flipping the flag here is byte-identical on the clean path; the flip
-  // exists to record the rung and to cover the injected-fault case.
+  // Brownout richness overrides: tighter schema top-k at higher levels.
+  // No rung fires for these — the stages are healthy, the prompt is just
+  // cheaper (report->brownout_level records the policy).
+  if (serve != nullptr) {
+    if (serve->top_k1_override > 0) options.top_k1 = serve->top_k1_override;
+    if (serve->top_k2_override > 0) options.top_k2 = serve->top_k2_override;
+  }
+
+  // Ladder rung 1: classifier unavailable (never trained/shared), failing
+  // (injected fault), or breaker-forced off by the serving front end —
+  // fall back to the full, unfiltered schema. PromptBuilder already keeps
+  // everything when the classifier is null, so flipping the flag here is
+  // byte-identical on the clean path; the flip exists to record the rung
+  // and to cover the injected-fault case.
+  bool forced_classifier =
+      serve != nullptr && serve->force_classifier_fallback;
   if (options.use_schema_filter &&
-      (classifier_ == nullptr ||
+      (classifier_ == nullptr || forced_classifier ||
        Failpoints::ShouldFail(FailpointSite::kClassifierScore))) {
     options.use_schema_filter = false;
     if (report != nullptr) {
@@ -262,25 +274,39 @@ DatabasePrompt CodesPipeline::BuildPromptInternal(
   }
 
   // Ladder rung 2 (inside RetrieverForGuarded): value index unavailable —
-  // prompt carries no matched values.
-  const ValueRetriever* retriever = RetrieverForGuarded(db, guard, report);
+  // prompt carries no matched values. A breaker-forced skip fires the same
+  // rung (the stage is genuinely being avoided as failing); a brownout
+  // skip (disable_value_retriever) does not.
+  const ValueRetriever* retriever = nullptr;
+  if (serve != nullptr && serve->force_value_fallback) {
+    if (report != nullptr) report->AddRung(ServeRung::kValueFallback);
+  } else if (serve != nullptr && serve->disable_value_retriever) {
+    // Policy skip: no rung, no retriever.
+  } else {
+    retriever = RetrieverForGuarded(db, guard, report);
+  }
 
   PromptBuilder builder(classifier_.get(), options);
   return builder.Build(db, question, retriever);
 }
 
 std::vector<const Text2SqlSample*> CodesPipeline::CollectDemonstrations(
-    const Text2SqlSample& sample) const {
+    const Text2SqlSample& sample, int max_demos) const {
   std::vector<const Text2SqlSample*> demos;
-  if (config_.icl_shots > 0 && !demo_pool_.empty()) {
+  int shots = config_.icl_shots;
+  if (max_demos >= 0) shots = std::min(shots, max_demos);
+  if (shots > 0 && !demo_pool_.empty()) {
     if (config_.random_demonstrations || demo_retriever_ == nullptr) {
+      // Draw config_.icl_shots demos and truncate, rather than drawing
+      // `shots`: a brownout cap must shorten the prompt, not reshuffle
+      // which demos the uncapped levels would have seen.
       Rng rng(config_.seed ^ HashString(sample.question));
       for (int i = 0; i < config_.icl_shots; ++i) {
-        demos.push_back(&demo_pool_[rng.Index(demo_pool_.size())]);
+        const Text2SqlSample* demo = &demo_pool_[rng.Index(demo_pool_.size())];
+        if (static_cast<int>(demos.size()) < shots) demos.push_back(demo);
       }
     } else {
-      for (int idx : demo_retriever_->TopK(QuestionWithEk(sample),
-                                           config_.icl_shots)) {
+      for (int idx : demo_retriever_->TopK(QuestionWithEk(sample), shots)) {
         demos.push_back(&demo_pool_[static_cast<size_t>(idx)]);
       }
     }
@@ -314,6 +340,7 @@ std::string CodesPipeline::PredictGuarded(const Text2SqlBenchmark& bench,
   ServeReport scratch;
   ServeReport& rep = report != nullptr ? *report : scratch;
   rep = ServeReport();
+  rep.brownout_level = options.brownout_level;
 
   // The per-sample generation seed doubles as the failpoint slot: it
   // identifies this request independently of scheduling, so fault
@@ -323,11 +350,24 @@ std::string CodesPipeline::PredictGuarded(const Text2SqlBenchmark& bench,
   ExecGuard guard(options.limits, options.cancel);
 
   const sql::Database& db = bench.DbOf(sample);
+
+  // Generation breaker open (or brownout level 4): skip every stage and
+  // serve the emergency query directly. This is the cheapest possible
+  // response and the only rung that fires on this path.
+  if (options.force_emergency_sql) {
+    rep.AddRung(ServeRung::kEmergencySql);
+    rep.candidate_rank = -1;
+    rep.final_status =
+        Status::Internal("generation forced off by circuit breaker");
+    RecordServeReport(rep);
+    return EmergencySql(db);
+  }
+
   DatabasePrompt prompt = [&] {
     // Stage span: end-to-end prompt construction (classifier, value
     // retrieval, and serialization nest inside).
     CODES_TRACE_SPAN(prompt_span, "pipeline.prompt_build");
-    return BuildPromptInternal(bench, sample, &guard, &rep);
+    return BuildPromptInternal(bench, sample, &guard, &rep, &options);
   }();
 
   GenerationInput input;
@@ -337,7 +377,7 @@ std::string CodesPipeline::PredictGuarded(const Text2SqlBenchmark& bench,
   if (config_.use_external_knowledge) {
     input.external_knowledge = sample.external_knowledge;
   }
-  input.demonstrations = CollectDemonstrations(sample);
+  input.demonstrations = CollectDemonstrations(sample, options.max_icl_demos);
 
   // Candidate execution happens in the repair loop below, under the
   // guard; skip the model's own unguarded execution probe.

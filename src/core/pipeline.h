@@ -73,6 +73,39 @@ struct ServeOptions {
   /// base * 2^(k-1) ms, capped. Base 0 (default) never sleeps.
   double backoff_base_ms = 0.0;
   double backoff_cap_ms = 8.0;
+
+  // --- Overload-protection overrides (set by the serving front end;
+  // src/serve/) -------------------------------------------------------
+  //
+  // The `force_*` flags are circuit-breaker actions: they make the
+  // request behave as if the stage had failed, firing the corresponding
+  // ladder rung without ever touching the stage. The richness knobs below
+  // them are brownout policy: they cheapen the prompt but fire no rung —
+  // the stage is healthy, the *process* is shedding cost.
+
+  /// Skip the schema classifier (breaker open): full unfiltered schema,
+  /// fires kClassifierFallback.
+  bool force_classifier_fallback = false;
+  /// Skip value retrieval (breaker open): no matched values, fires
+  /// kValueFallback.
+  bool force_value_fallback = false;
+  /// Serve the emergency SQL immediately (generation breaker open): no
+  /// decoding at all, fires kEmergencySql.
+  bool force_emergency_sql = false;
+
+  /// Caps ICL demonstrations; -1 (default) means no cap, 0 means none.
+  int max_icl_demos = -1;
+  /// Skips value retrieval as *policy* (no rung fired, unlike
+  /// force_value_fallback).
+  bool disable_value_retriever = false;
+  /// When > 0, overrides PromptOptions::top_k1 / top_k2 (only ever
+  /// downward in practice; the builder clamps to schema size anyway).
+  int top_k1_override = 0;
+  int top_k2_override = 0;
+  /// Brownout level these knobs were derived from (0 = full richness);
+  /// copied into ServeReport for digests and metrics, not interpreted
+  /// by the pipeline itself.
+  int brownout_level = 0;
 };
 
 /// What happened while serving one request. Never reports failure to
@@ -85,6 +118,9 @@ struct ServeReport {
   int candidate_rank = -1;
   /// True when the served SQL executed successfully under the guard.
   bool execution_verified = false;
+  /// Brownout level the request was served at (ServeOptions::brownout_level
+  /// echoed back; 0 when the caller never set one).
+  int brownout_level = 0;
   /// OK when fully verified; otherwise the last error seen on the ladder.
   Status final_status;
 
@@ -195,14 +231,16 @@ class CodesPipeline {
 
   /// Shared implementation of BuildPrompt/PredictGuarded: applies the
   /// classifier and value rungs of the ladder while constructing options.
+  /// `serve` (optional) carries the breaker/brownout overrides.
   DatabasePrompt BuildPromptInternal(const Text2SqlBenchmark& bench,
                                      const Text2SqlSample& sample,
-                                     ExecGuard* guard,
-                                     ServeReport* report) const;
+                                     ExecGuard* guard, ServeReport* report,
+                                     const ServeOptions* serve) const;
 
   /// ICL demonstrations for `sample` (empty unless icl_shots > 0).
+  /// `max_demos` < 0 means uncapped.
   std::vector<const Text2SqlSample*> CollectDemonstrations(
-      const Text2SqlSample& sample) const;
+      const Text2SqlSample& sample, int max_demos) const;
 
   std::string QuestionWithEk(const Text2SqlSample& sample) const;
 

@@ -1,0 +1,128 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+
+namespace codes {
+namespace serve {
+
+TokenBucket::TokenBucket(double rate_per_sec, double burst)
+    : rate_per_sec_(rate_per_sec),
+      burst_(std::max(burst, 1.0)),
+      tokens_(std::max(burst, 1.0)) {}
+
+void TokenBucket::Refill(uint64_t now_us) {
+  if (!primed_) {
+    // The first observation anchors the clock; the bucket starts full so a
+    // cold front end never rejects its very first burst.
+    last_refill_us_ = now_us;
+    primed_ = true;
+    return;
+  }
+  if (now_us <= last_refill_us_) return;
+  double elapsed_s =
+      static_cast<double>(now_us - last_refill_us_) * 1e-6;
+  tokens_ = std::min(burst_, tokens_ + elapsed_s * rate_per_sec_);
+  last_refill_us_ = now_us;
+}
+
+bool TokenBucket::TryAcquire(uint64_t now_us) {
+  if (rate_per_sec_ <= 0.0) return true;
+  Refill(now_us);
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+double TokenBucket::tokens_at(uint64_t now_us) const {
+  if (rate_per_sec_ <= 0.0) return burst_;
+  if (!primed_ || now_us <= last_refill_us_) return tokens_;
+  double elapsed_s =
+      static_cast<double>(now_us - last_refill_us_) * 1e-6;
+  return std::min(burst_, tokens_ + elapsed_s * rate_per_sec_);
+}
+
+DeadlineQueue::DeadlineQueue(size_t capacity, size_t lifo_threshold)
+    : capacity_(std::max<size_t>(capacity, 1)),
+      lifo_threshold_(lifo_threshold) {}
+
+bool DeadlineQueue::Push(const QueuedRequest& request) {
+  if (queue_.size() >= capacity_) return false;
+  queue_.push_back(request);
+  return true;
+}
+
+bool DeadlineQueue::Pop(uint64_t now_us, QueuedRequest* out,
+                        std::vector<QueuedRequest>* shed) {
+  while (!queue_.empty()) {
+    // Under saturation serve the newest entry: its deadline budget is
+    // still intact, where the oldest is the most likely to expire before
+    // completing (serving it first converts queue time into wasted work).
+    bool lifo = queue_.size() > lifo_threshold_;
+    QueuedRequest candidate = lifo ? queue_.back() : queue_.front();
+    if (lifo) {
+      queue_.pop_back();
+    } else {
+      queue_.pop_front();
+    }
+    if (candidate.deadline_us != 0 && candidate.deadline_us <= now_us) {
+      // Guaranteed-wasted work: shed before spending pipeline time on it.
+      if (shed != nullptr) shed->push_back(candidate);
+      continue;
+    }
+    *out = candidate;
+    return true;
+  }
+  return false;
+}
+
+void DeadlineQueue::DrainTo(std::vector<QueuedRequest>* shed) {
+  while (!queue_.empty()) {
+    if (shed != nullptr) shed->push_back(queue_.front());
+    queue_.pop_front();
+  }
+}
+
+const char* AdmissionName(Admission admission) {
+  switch (admission) {
+    case Admission::kEnqueued:
+      return "enqueued";
+    case Admission::kRejectedRate:
+      return "rejected_rate";
+    case Admission::kRejectedQueueFull:
+      return "rejected_queue_full";
+  }
+  return "unknown";
+}
+
+AdmissionController::Options AdmissionController::Options::Resolve() const {
+  Options resolved = *this;
+  if (resolved.queue_capacity == 0) resolved.queue_capacity = 1;
+  if (resolved.lifo_threshold == 0) {
+    resolved.lifo_threshold = resolved.queue_capacity / 2;
+  }
+  return resolved;
+}
+
+AdmissionController::AdmissionController(const Options& options)
+    : bucket_(options.Resolve().rate_per_sec, options.Resolve().burst),
+      queue_(options.Resolve().queue_capacity,
+             options.Resolve().lifo_threshold) {}
+
+Admission AdmissionController::Offer(const QueuedRequest& request,
+                                     uint64_t now_us) {
+  if (!bucket_.TryAcquire(now_us)) return Admission::kRejectedRate;
+  if (!queue_.Push(request)) return Admission::kRejectedQueueFull;
+  return Admission::kEnqueued;
+}
+
+bool AdmissionController::Dequeue(uint64_t now_us, QueuedRequest* out,
+                                  std::vector<QueuedRequest>* shed) {
+  return queue_.Pop(now_us, out, shed);
+}
+
+void AdmissionController::DrainTo(std::vector<QueuedRequest>* shed) {
+  queue_.DrainTo(shed);
+}
+
+}  // namespace serve
+}  // namespace codes

@@ -1,0 +1,130 @@
+#ifndef CODES_SERVE_ADMISSION_H_
+#define CODES_SERVE_ADMISSION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace codes {
+namespace serve {
+
+/// Classic token bucket: `rate_per_sec` tokens accrue continuously up to
+/// `burst`; each admitted request spends one. Time is explicit (µs) so the
+/// same code runs under the virtual clock of a load campaign and the
+/// steady clock of live serving — nothing in src/serve/ ever reads a real
+/// clock itself.
+class TokenBucket {
+ public:
+  /// `rate_per_sec` <= 0 disables rate limiting (TryAcquire always
+  /// succeeds); `burst` < 1 is clamped to 1 so a legal rate can never
+  /// starve every request.
+  TokenBucket(double rate_per_sec, double burst);
+
+  /// Spends one token if available at `now_us`. Monotonic `now_us`
+  /// expected; a caller handing in an earlier time simply accrues nothing.
+  bool TryAcquire(uint64_t now_us);
+
+  double tokens_at(uint64_t now_us) const;
+
+ private:
+  void Refill(uint64_t now_us);
+
+  double rate_per_sec_;
+  double burst_;
+  double tokens_;
+  uint64_t last_refill_us_ = 0;
+  bool primed_ = false;  ///< first TryAcquire anchors the clock
+};
+
+/// One queued admission ticket. The front end keeps request payloads; the
+/// queue only orders ids and enforces deadlines.
+struct QueuedRequest {
+  uint64_t id = 0;
+  uint64_t enqueue_us = 0;
+  uint64_t deadline_us = 0;  ///< absolute; 0 means no deadline
+};
+
+/// Bounded deadline-aware queue with a LIFO-under-saturation policy:
+///
+///  * Push refuses when `capacity` entries are waiting (reject-on-full —
+///    the caller sheds instead of building an unbounded backlog).
+///  * Pop first drops every entry whose deadline has already passed
+///    (shedding work that is guaranteed wasted *before* spending pipeline
+///    time on it), then serves FIFO while the queue is shallow and
+///    LIFO once depth crosses `lifo_threshold` — under saturation the
+///    newest request is the one whose deadline budget is still intact,
+///    so serving it yields goodput where FIFO would serve a doomed
+///    request first.
+class DeadlineQueue {
+ public:
+  /// `lifo_threshold` is a depth (entries); depths strictly above it pop
+  /// newest-first. 0 means always-LIFO.
+  DeadlineQueue(size_t capacity, size_t lifo_threshold);
+
+  bool Push(const QueuedRequest& request);
+
+  /// Pops the next serveable request into `out`; expired entries removed
+  /// along the way are appended to `shed`. False when nothing is left.
+  bool Pop(uint64_t now_us, QueuedRequest* out,
+           std::vector<QueuedRequest>* shed);
+
+  /// Removes every remaining entry into `shed` (campaign drain).
+  void DrainTo(std::vector<QueuedRequest>* shed);
+
+  size_t depth() const { return queue_.size(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  size_t capacity_;
+  size_t lifo_threshold_;
+  std::deque<QueuedRequest> queue_;
+};
+
+/// Admission decision for one offered request.
+enum class Admission {
+  kEnqueued = 0,      ///< waiting in the deadline queue
+  kRejectedRate,      ///< token bucket empty
+  kRejectedQueueFull  ///< queue at capacity
+};
+
+const char* AdmissionName(Admission admission);
+
+/// Token bucket + deadline queue glued into the front door. Not
+/// thread-safe by itself: ServeFrontEnd serializes access (live serving)
+/// or the single DES driver thread owns it (load campaigns).
+class AdmissionController {
+ public:
+  struct Options {
+    double rate_per_sec = 0.0;  ///< <= 0: no rate limit
+    double burst = 8.0;
+    size_t queue_capacity = 64;
+    /// Queue depths strictly above this pop LIFO; defaults to half the
+    /// capacity when left 0 (see Resolve()).
+    size_t lifo_threshold = 0;
+
+    Options Resolve() const;
+  };
+
+  explicit AdmissionController(const Options& options);
+
+  Admission Offer(const QueuedRequest& request, uint64_t now_us);
+  bool Dequeue(uint64_t now_us, QueuedRequest* out,
+               std::vector<QueuedRequest>* shed);
+  void DrainTo(std::vector<QueuedRequest>* shed);
+
+  /// Rate-limit check alone, bypassing the queue — for serving modes
+  /// where the caller is its own waiting slot (ServeFrontEnd::Serve).
+  bool AcquireToken(uint64_t now_us) { return bucket_.TryAcquire(now_us); }
+
+  size_t queue_depth() const { return queue_.depth(); }
+
+ private:
+  TokenBucket bucket_;
+  DeadlineQueue queue_;
+};
+
+}  // namespace serve
+}  // namespace codes
+
+#endif  // CODES_SERVE_ADMISSION_H_

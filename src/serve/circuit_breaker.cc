@@ -1,0 +1,101 @@
+#include "serve/circuit_breaker.h"
+
+#include <algorithm>
+
+namespace codes {
+namespace serve {
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half_open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(const Options& options) : options_(options) {
+  options_.window = std::max<size_t>(options_.window, 1);
+  options_.min_samples =
+      std::min(std::max<size_t>(options_.min_samples, 1), options_.window);
+  options_.half_open_probes = std::max(options_.half_open_probes, 1);
+  options_.close_after =
+      std::min(std::max(options_.close_after, 1), options_.half_open_probes);
+  window_.assign(options_.window, false);
+}
+
+void CircuitBreaker::MoveTo(BreakerState next, uint64_t now_us) {
+  state_ = next;
+  ++transitions_;
+  if (next == BreakerState::kOpen) {
+    opened_at_us_ = now_us;
+  } else if (next == BreakerState::kHalfOpen) {
+    probes_issued_ = 0;
+    probe_successes_ = 0;
+  } else {  // kClosed: forget the failing era entirely
+    window_.assign(options_.window, false);
+    window_next_ = 0;
+    window_count_ = 0;
+    window_failures_ = 0;
+  }
+}
+
+double CircuitBreaker::FailureRatio() const {
+  if (window_count_ == 0) return 0.0;
+  return static_cast<double>(window_failures_) /
+         static_cast<double>(window_count_);
+}
+
+bool CircuitBreaker::ShouldForce(uint64_t now_us) {
+  if (state_ == BreakerState::kOpen) {
+    if (now_us - opened_at_us_ >= options_.cooldown_us) {
+      MoveTo(BreakerState::kHalfOpen, now_us);
+    } else {
+      return true;
+    }
+  }
+  if (state_ == BreakerState::kHalfOpen) {
+    if (probes_issued_ < options_.half_open_probes) {
+      ++probes_issued_;
+      return false;  // this request is a probe: let it touch the stage
+    }
+    return true;  // probe quota spent; wait for their verdicts
+  }
+  return false;
+}
+
+void CircuitBreaker::RecordOutcome(bool failed, uint64_t now_us) {
+  switch (state_) {
+    case BreakerState::kOpen:
+      // Straggler from before the trip; its world no longer exists.
+      return;
+    case BreakerState::kHalfOpen:
+      if (failed) {
+        MoveTo(BreakerState::kOpen, now_us);
+      } else if (++probe_successes_ >= options_.close_after) {
+        MoveTo(BreakerState::kClosed, now_us);
+      }
+      return;
+    case BreakerState::kClosed:
+      break;
+  }
+  if (window_count_ == options_.window) {
+    // Ring slot being overwritten leaves the window.
+    if (window_[window_next_]) --window_failures_;
+  } else {
+    ++window_count_;
+  }
+  window_[window_next_] = failed;
+  if (failed) ++window_failures_;
+  window_next_ = (window_next_ + 1) % options_.window;
+  if (window_count_ >= options_.min_samples &&
+      FailureRatio() >= options_.failure_threshold) {
+    MoveTo(BreakerState::kOpen, now_us);
+  }
+}
+
+}  // namespace serve
+}  // namespace codes

@@ -1,0 +1,174 @@
+#ifndef CODES_SERVE_FRONT_END_H_
+#define CODES_SERVE_FRONT_END_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/pipeline.h"
+#include "serve/admission.h"
+#include "serve/brownout.h"
+#include "serve/circuit_breaker.h"
+
+namespace codes {
+namespace serve {
+
+/// Pipeline stages guarded by a circuit breaker, each mapped to the ladder
+/// rung the front end forces while its breaker is open:
+///
+///   kClassifier      → force_classifier_fallback (full schema)
+///   kValueRetrieval  → force_value_fallback      (no matched values)
+///   kGeneration      → force_emergency_sql       (trivial query)
+enum class ServeStage : int {
+  kClassifier = 0,
+  kValueRetrieval,
+  kGeneration,
+  kNumStages,  // sentinel
+};
+
+inline constexpr int kNumServeStages =
+    static_cast<int>(ServeStage::kNumStages);
+
+const char* ServeStageName(ServeStage stage);
+
+/// Configuration of the overload-protection front end.
+struct FrontEndOptions {
+  AdmissionController::Options admission;
+  /// One breaker per stage, all sharing this tuning.
+  CircuitBreaker::Options breaker;
+  BrownoutController::Options brownout;
+  /// Execution budgets stamped into every request's ServeOptions.
+  ExecLimits limits;
+  /// Deadline assigned to requests that arrive without one (0 = none).
+  uint64_t default_deadline_us = 0;
+};
+
+/// The overload-protection front end between callers and
+/// CodesPipeline::PredictGuarded: token-bucket admission, a bounded
+/// deadline-aware queue, per-stage circuit breakers, and the adaptive
+/// brownout controller, all emitting the serve.* metric families.
+///
+/// Metric accounting contract (asserted by codes_load and overload CI):
+/// every offered request lands in exactly one of admitted / rejected /
+/// shed, so
+///
+///   serve.admitted + serve.rejected + serve.shed == serve.offered
+///
+/// with serve.rejected = serve.rejected.rate + serve.rejected.queue_full
+/// and serve.shed = serve.shed.deadline + serve.shed.drain.
+///
+/// Two usage modes share all decision logic:
+///
+///  * Explicit-time API (Offer/Dequeue/OptionsFor/Complete/Drain): the
+///    caller owns the clock. codes_load drives it with a virtual clock
+///    from a single DES thread, which is what makes saturation campaigns
+///    byte-identical at any real thread count. NOT thread-safe; a single
+///    owner serializes calls.
+///  * Wall-clock API (Serve/TryServeAsync): thread-safe convenience
+///    wrappers that derive time from a steady clock and use the caller
+///    (or the thread pool's bounded queue) as the waiting room.
+class ServeFrontEnd {
+ public:
+  /// `pipeline` and `bench` must outlive the front end; they are only
+  /// dereferenced by the wall-clock serving paths.
+  ServeFrontEnd(const CodesPipeline* pipeline, const Text2SqlBenchmark* bench,
+                const FrontEndOptions& options);
+
+  // --- explicit-time API (single owner) -------------------------------
+
+  /// Offers request `id` at `now_us`. kEnqueued means it is waiting in
+  /// the deadline queue; a rejection is final (metrics recorded here).
+  Admission Offer(uint64_t id, uint64_t deadline_us, uint64_t now_us);
+
+  /// Pops the next serveable request, shedding expired entries along the
+  /// way (each shed is recorded, and appended to `shed` when non-null so
+  /// the caller can account per-request). True = `out` is admitted
+  /// (counted, wait time observed) and the caller must execute it with
+  /// OptionsFor() and report back via Complete().
+  bool Dequeue(uint64_t now_us, QueuedRequest* out,
+               std::vector<QueuedRequest>* shed = nullptr);
+
+  /// ServeOptions for a request dispatched now: base limits + brownout
+  /// richness level + breaker-forced stage skips.
+  ServeOptions OptionsFor(uint64_t now_us);
+
+  /// Feeds a finished request's report back into the breakers (stages the
+  /// front end itself forced or disabled are skipped — their "failures"
+  /// are self-inflicted) and the per-level served counters.
+  void Complete(const ServeOptions& options_used, const ServeReport& report,
+                uint64_t now_us);
+
+  /// Sheds everything still queued (campaign end); returns the count and
+  /// appends the victims to `shed` when non-null.
+  size_t Drain(uint64_t now_us, std::vector<QueuedRequest>* shed = nullptr);
+
+  /// Feeds queue fullness into the brownout controller and refreshes the
+  /// serve.queue.depth / serve.brownout.level gauges. Call whenever depth
+  /// changes (arrivals, dispatches).
+  void ObserveQueue(uint64_t now_us);
+
+  int brownout_level() const { return brownout_.level(); }
+  const BrownoutController& brownout() const { return brownout_; }
+  BreakerState breaker_state(ServeStage stage) const {
+    return breakers_[static_cast<int>(stage)].state();
+  }
+  uint64_t breaker_transitions(ServeStage stage) const {
+    return breakers_[static_cast<int>(stage)].transitions();
+  }
+  size_t queue_depth() const { return admission_.queue_depth(); }
+
+  // --- wall-clock API (thread-safe) -----------------------------------
+
+  /// Synchronous guarded serving with admission control. There is no
+  /// queue on this path — the calling thread is the waiting slot, so
+  /// "queue depth" is the number of in-flight Serve calls and admission
+  /// rejects once `queue_capacity` callers are already inside. Returns
+  /// kUnavailable on rejection (no SQL produced), OK otherwise.
+  Status Serve(const Text2SqlSample& sample, std::string* sql,
+               ServeReport* report = nullptr);
+
+  /// Bounded asynchronous serving: admission (token bucket) now, then
+  /// TrySubmit to `pool` with the admission queue capacity as the backlog
+  /// bound. False = rejected (rate or pool backlog full); when true,
+  /// `done` eventually runs on a pool thread with the outcome — status is
+  /// kDeadlineExceeded (empty SQL) when the request expired in the
+  /// backlog and was shed without touching the pipeline.
+  bool TryServeAsync(
+      const Text2SqlSample& sample, ThreadPool* pool,
+      std::function<void(const Status&, const std::string&,
+                         const ServeReport&)> done);
+
+ private:
+  uint64_t WallNowUs() const;
+
+  Admission OfferLocked(uint64_t id, uint64_t deadline_us, uint64_t now_us);
+  ServeOptions OptionsForLocked(uint64_t now_us);
+  void CompleteLocked(const ServeOptions& options_used,
+                      const ServeReport& report, uint64_t now_us);
+  void ObserveFullnessLocked(double fullness, uint64_t now_us);
+  /// Emits breaker transition counters for `stage` when `before` differs
+  /// from the breaker's current state.
+  void NoteBreakerTransition(ServeStage stage, BreakerState before);
+
+  const CodesPipeline* pipeline_;
+  const Text2SqlBenchmark* bench_;
+  FrontEndOptions options_;
+
+  /// Serializes the wall-clock paths; the explicit-time API relies on its
+  /// single owner instead (a DES driver never contends).
+  std::mutex mu_;
+  AdmissionController admission_;
+  CircuitBreaker breakers_[kNumServeStages];
+  BrownoutController brownout_;
+  size_t in_flight_ = 0;  ///< wall-clock Serve calls currently inside
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace serve
+}  // namespace codes
+
+#endif  // CODES_SERVE_FRONT_END_H_

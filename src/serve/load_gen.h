@@ -1,0 +1,94 @@
+#ifndef CODES_SERVE_LOAD_GEN_H_
+#define CODES_SERVE_LOAD_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/pipeline.h"
+#include "serve/front_end.h"
+
+namespace codes {
+namespace serve {
+
+/// Configuration of one open-loop saturation campaign.
+struct LoadGenOptions {
+  uint64_t seed = 1;
+  int num_requests = 1000;
+  /// Open-loop offered rate: arrivals keep coming at this (virtual) rate
+  /// no matter how far behind service falls — the scenario that collapses
+  /// an unprotected server.
+  double offered_qps = 200.0;
+  /// Concurrent virtual service slots ("model replicas").
+  int virtual_workers = 4;
+  /// Virtual service time of a full-richness (level-0) request; higher
+  /// brownout levels cost a fixed fraction of this (see
+  /// VirtualServiceUs). Capacity ≈ virtual_workers * 1e6 / service_base_us.
+  uint64_t service_base_us = 20'000;
+  /// Per-request deadline, measured from arrival (0 = none).
+  uint64_t deadline_us = 200'000;
+  /// Real execution threads for the pipeline work (never affects the
+  /// campaign's decisions or digest — that is the point).
+  int threads = 1;
+  FrontEndOptions front_end;
+  /// Optional failpoint campaign spec, configured with `seed`.
+  std::string failpoint_spec;
+};
+
+/// What one campaign did, accounted per request (independent of the
+/// global metrics registry, which the campaign also feeds).
+struct LoadReport {
+  uint64_t offered = 0;
+  uint64_t admitted = 0;
+  uint64_t rejected_rate = 0;
+  uint64_t rejected_queue_full = 0;
+  uint64_t shed_deadline = 0;
+  uint64_t shed_drain = 0;
+  uint64_t served_within_deadline = 0;
+  uint64_t served_late = 0;
+  uint64_t verified = 0;
+  uint64_t served_at_level[kNumBrownoutLevels] = {0, 0, 0, 0, 0};
+  uint64_t brownout_degrades = 0;
+  uint64_t brownout_recoveries = 0;
+  uint64_t breaker_transitions[kNumServeStages] = {0, 0, 0};
+  /// Virtual time of the last processed event.
+  uint64_t end_us = 0;
+  /// FNV-1a over one outcome line per request, folded in request-id order
+  /// — the number CI compares across real thread counts.
+  uint64_t digest = 0;
+
+  /// Requests served before their deadline per virtual second.
+  double GoodputQps() const;
+  /// Deterministic multi-line rendering (campaign stdout).
+  std::string Summary() const;
+};
+
+/// Virtual service cost of request `id` at brownout `level`: a pure
+/// function of (seed, id, level) — NEVER of real execution time — which is
+/// what lets the discrete-event simulation schedule completions without
+/// waiting on real work. Brownout levels are cheaper by fixed multipliers
+/// (that is the reward the controller is steering toward), with ±25%
+/// per-request jitter.
+uint64_t VirtualServiceUs(uint64_t seed, uint64_t id, int level,
+                          uint64_t base_us);
+
+/// Runs one open-loop campaign as a virtual-time discrete-event
+/// simulation. A single driver thread makes every control decision
+/// (admission, shedding, brownout, breaker transitions) at virtual
+/// timestamps derived purely from the seed; the actual PredictGuarded
+/// executions are farmed out to a `threads`-wide pool and their outcomes
+/// consumed only when the corresponding virtual completion event is
+/// processed, in virtual-time order. The report (and the serve.* metric
+/// deltas) are therefore byte-identical at any `threads` value — the same
+/// determinism contract as the failpoint framework.
+///
+/// The pipeline must be fully set up (classifier, FineTune) before the
+/// call. When `options.failpoint_spec` is non-empty it is configured for
+/// the campaign and cleared afterwards.
+LoadReport RunLoadCampaign(const CodesPipeline& pipeline,
+                           const Text2SqlBenchmark& bench,
+                           const LoadGenOptions& options);
+
+}  // namespace serve
+}  // namespace codes
+
+#endif  // CODES_SERVE_LOAD_GEN_H_

@@ -8,7 +8,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <thread>
@@ -182,6 +184,52 @@ TEST(ExecGuardTest, CancellationFromAnotherThread) {
   }
 }
 
+TEST(ExecGuardTest, ConcurrentCancellersAndPollersAreRaceFree) {
+  // Hammer the cross-thread token path the serving front end relies on:
+  // several threads cancel the same token while several others poll it
+  // through ExecGuard::Check. Run under the TSan CI leg; the assertions
+  // here are about the protocol (no poller may observe OK after it has
+  // once seen kCancelled, and all must see the cancel eventually).
+  constexpr int kCancellers = 4;
+  constexpr int kPollers = 4;
+  CancelToken token;
+  std::vector<std::thread> threads;
+  std::atomic<int> saw_cancel{0};
+  std::atomic<bool> protocol_violated{false};
+  threads.reserve(kCancellers + kPollers);
+  for (int p = 0; p < kPollers; ++p) {
+    threads.emplace_back([&token, &saw_cancel, &protocol_violated]() {
+      ExecGuard guard(ExecLimits{}, &token);
+      // Poll until the cancel is observed (the cancellers fire within
+      // microseconds; this terminates fast), then keep checking that it
+      // stays observed — cancellation must be sticky.
+      while (true) {
+        Status status = guard.Check();
+        if (status.ok()) continue;
+        if (status.code() != StatusCode::kCancelled) {
+          protocol_violated.store(true);
+        }
+        break;
+      }
+      for (int i = 0; i < 1'000; ++i) {
+        if (guard.Check().ok()) protocol_violated.store(true);
+      }
+      saw_cancel.fetch_add(1);
+    });
+  }
+  for (int c = 0; c < kCancellers; ++c) {
+    threads.emplace_back([&token, c]() {
+      std::this_thread::sleep_for(std::chrono::microseconds(100 * (c + 1)));
+      token.Cancel();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(protocol_violated.load());
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(saw_cancel.load(), kPollers)
+      << "200k polls span the cancel point; every poller must observe it";
+}
+
 TEST(ExecGuardTest, DepthBudgetBoundsSubqueryNesting) {
   auto db = MakeWideDb(20);
   const std::string nested =
@@ -261,6 +309,88 @@ TEST_F(FailpointTest, ConfigureGrammar) {
   EXPECT_FALSE(Failpoints::Configure("classifier.score", 1).ok());
   EXPECT_FALSE(Failpoints::Configure("classifier.score=maybe", 1).ok());
   Failpoints::Clear();
+  EXPECT_FALSE(Failpoints::Enabled());
+}
+
+TEST_F(FailpointTest, MalformedSpecCorpusAllRejectedWithDiagnostics) {
+  // Every spec here once either crashed nothing but silently armed half a
+  // campaign, or mapped to "no faults" via atoi-style parsing. Each must
+  // now fail with a non-empty diagnostic and leave the registry disabled.
+  const char* corpus[] = {
+      "classifier.score",            // no trigger at all
+      "classifier.score=",           // empty trigger
+      "classifier.score=maybe",      // unknown trigger
+      "classifier.score=prob",       // prob without argument
+      "classifier.score=prob:",      // empty probability
+      "classifier.score=prob:2.0",   // out of range
+      "classifier.score=prob:-0.1",  // negative
+      "classifier.score=prob:nan",   // NaN compares false to everything
+      "classifier.score=prob:inf",   // non-finite
+      "classifier.score=prob:0.5x",  // trailing garbage
+      "classifier.score=nth:0",      // nth must be >= 1
+      "classifier.score=nth:-3",     // negative count
+      "classifier.score=nth:3.5",    // non-integer
+      "classifier.score=oneshot:1",  // oneshot takes no argument
+      "bogus.site=prob:0.5",         // unknown site
+      "=prob:0.5",                   // empty site name
+      "classifier.score=oneshot;;lm.decode=oneshot",  // doubled ';'
+      ";classifier.score=oneshot",   // leading ';'
+  };
+  for (const char* spec : corpus) {
+    Status status = Failpoints::Configure(spec, 1);
+    EXPECT_FALSE(status.ok()) << "accepted malformed spec: " << spec;
+    EXPECT_FALSE(status.message().empty()) << spec;
+    EXPECT_FALSE(Failpoints::Enabled())
+        << "malformed spec left the registry armed: " << spec;
+  }
+}
+
+TEST_F(FailpointTest, MalformedSpecLeavesNoPartialState) {
+  // The first entry of this spec is valid, the second is not: nothing may
+  // be armed (the old in-place parse installed the valid prefix).
+  Status status =
+      Failpoints::Configure("executor.step=oneshot;bogus=oneshot", 3);
+  ASSERT_FALSE(status.ok());
+  EXPECT_FALSE(Failpoints::Enabled());
+  FailpointScope scope(1);
+  EXPECT_FALSE(Failpoints::ShouldFail(FailpointSite::kExecutorStep));
+  // A subsequent valid configure works normally.
+  ASSERT_TRUE(Failpoints::Configure("executor.step=oneshot", 3).ok());
+  FailpointScope scope2(2);
+  EXPECT_TRUE(Failpoints::ShouldFail(FailpointSite::kExecutorStep));
+}
+
+TEST_F(FailpointTest, TrailingSemicolonAndBlankSpecsAreAccepted) {
+  EXPECT_TRUE(Failpoints::Configure("executor.step=oneshot;", 1).ok());
+  EXPECT_TRUE(Failpoints::Enabled());
+  Failpoints::Clear();
+  EXPECT_TRUE(Failpoints::Configure("", 1).ok());
+  EXPECT_FALSE(Failpoints::Enabled());
+  EXPECT_TRUE(Failpoints::Configure("   ", 1).ok());
+  EXPECT_FALSE(Failpoints::Enabled());
+}
+
+TEST_F(FailpointTest, ConfigureFromEnvSurfacesBadSpecsAndSeeds) {
+  ::setenv("CODES_FAILPOINTS", "classifier.score=prob:0.5", 1);
+  ::setenv("CODES_FAILPOINT_SEED", "not-a-number", 1);
+  Status bad_seed = Failpoints::ConfigureFromEnv();
+  EXPECT_FALSE(bad_seed.ok());
+  EXPECT_NE(bad_seed.message().find("CODES_FAILPOINT_SEED"),
+            std::string::npos);
+
+  ::setenv("CODES_FAILPOINT_SEED", "42", 1);
+  EXPECT_TRUE(Failpoints::ConfigureFromEnv().ok());
+  EXPECT_TRUE(Failpoints::Enabled());
+  Failpoints::Clear();
+
+  ::setenv("CODES_FAILPOINTS", "classifier.score=prob:nan", 1);
+  Status bad_spec = Failpoints::ConfigureFromEnv();
+  EXPECT_FALSE(bad_spec.ok());
+  EXPECT_FALSE(Failpoints::Enabled());
+
+  ::unsetenv("CODES_FAILPOINTS");
+  ::unsetenv("CODES_FAILPOINT_SEED");
+  EXPECT_TRUE(Failpoints::ConfigureFromEnv().ok()) << "unset env is a no-op";
   EXPECT_FALSE(Failpoints::Enabled());
 }
 

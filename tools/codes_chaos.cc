@@ -29,6 +29,7 @@
 
 #include "common/failpoint.h"
 #include "common/metrics.h"
+#include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "core/model_zoo.h"
 #include "core/pipeline.h"
@@ -180,17 +181,17 @@ int main(int argc, char** argv) {
   Flags flags;
   for (int i = 1; i < argc; ++i) {
     std::string value;
+    bool ok = true;
     if (ParseFlag(argv[i], "--queries", &value)) {
-      flags.queries = std::atoi(value.c_str());
+      ok = codes::ParseInt(value, &flags.queries);
     } else if (ParseFlag(argv[i], "--threads", &value)) {
-      flags.threads = std::atoi(value.c_str());
+      ok = codes::ParseInt(value, &flags.threads);
     } else if (ParseFlag(argv[i], "--seed", &value)) {
-      flags.seed = std::strtoull(value.c_str(), nullptr, 10);
+      ok = codes::ParseUint64(value, &flags.seed);
     } else if (ParseFlag(argv[i], "--rate", &value)) {
-      flags.rate = std::atof(value.c_str());
+      ok = codes::ParseFiniteDouble(value, &flags.rate);
     } else if (ParseFlag(argv[i], "--max-rows", &value)) {
-      flags.max_rows = static_cast<size_t>(
-          std::strtoull(value.c_str(), nullptr, 10));
+      ok = codes::ParseSize(value, &flags.max_rows);
     } else if (ParseFlag(argv[i], "--spec", &value)) {
       flags.spec = value;
     } else if (ParseFlag(argv[i], "--metrics-out", &value)) {
@@ -201,6 +202,11 @@ int main(int argc, char** argv) {
       flags.smoke = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      Usage();
+      return 2;
+    }
+    if (!ok) {
+      std::fprintf(stderr, "bad value in flag: %s\n", argv[i]);
       Usage();
       return 2;
     }

@@ -21,6 +21,7 @@
 
 #include "common/metrics.h"
 #include "common/rng.h"
+#include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "fuzz/fuzz_harness.h"
 #include "fuzz/oracle.h"
@@ -176,17 +177,18 @@ int main(int argc, char** argv) {
   bool seed_given = false;
   for (int i = 1; i < argc; ++i) {
     std::string value;
+    bool ok = true;
     if (ParseFlag(argv[i], "--queries", &value)) {
-      flags.queries = std::atoi(value.c_str());
+      ok = codes::ParseInt(value, &flags.queries);
     } else if (ParseFlag(argv[i], "--threads", &value)) {
-      flags.threads = std::atoi(value.c_str());
+      ok = codes::ParseInt(value, &flags.threads);
     } else if (ParseFlag(argv[i], "--seed", &value)) {
-      flags.seed = std::strtoull(value.c_str(), nullptr, 10);
+      ok = codes::ParseUint64(value, &flags.seed);
       seed_given = true;
     } else if (ParseFlag(argv[i], "--databases", &value)) {
-      flags.databases = std::atoi(value.c_str());
+      ok = codes::ParseInt(value, &flags.databases);
     } else if (ParseFlag(argv[i], "--schema", &value)) {
-      flags.schema = std::atoi(value.c_str());
+      ok = codes::ParseInt(value, &flags.schema);
     } else if (ParseFlag(argv[i], "--replay", &value)) {
       flags.replay = value;
     } else if (ParseFlag(argv[i], "--out", &value)) {
@@ -199,6 +201,11 @@ int main(int argc, char** argv) {
       flags.shrink = false;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      Usage();
+      return 2;
+    }
+    if (!ok) {
+      std::fprintf(stderr, "bad value in flag: %s\n", argv[i]);
       Usage();
       return 2;
     }

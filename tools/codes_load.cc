@@ -1,0 +1,307 @@
+// codes_load: deterministic open-loop overload campaign driver.
+//
+// Replays a seeded arrival schedule against the overload-protection front
+// end (admission control, deadline queue, circuit breakers, adaptive
+// brownout) wrapped around CodesPipeline::PredictGuarded, entirely in
+// virtual time: a single discrete-event driver makes every control
+// decision, so the campaign report, its digest, and the serve.* metrics
+// snapshot are byte-identical at any --threads value.
+//
+// Modes:
+//   campaign (default)  codes_load --requests=5000 --qps=400 --threads=8
+//   smoke               codes_load --smoke   (fixed-seed 2x-saturation
+//                                             campaign with a built-in
+//                                             1-vs-8-thread determinism
+//                                             check and the metric sum
+//                                             invariant asserted)
+//
+// --qps is the offered (arrival) rate; virtual capacity is
+// --workers * 1e6 / --service-us, so --qps=2x capacity is a saturation
+// campaign. Campaign stdout is byte-identical across thread counts
+// (timing goes to stderr). Exit status: 0 clean, 1 invariant violation,
+// 2 usage error.
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/metrics.h"
+#include "common/string_util.h"
+#include "core/model_zoo.h"
+#include "core/pipeline.h"
+#include "dataset/benchmark_builder.h"
+#include "serve/load_gen.h"
+
+namespace {
+
+struct Flags {
+  int requests = 2000;
+  double qps = 400.0;
+  int workers = 4;
+  uint64_t service_us = 20'000;
+  uint64_t deadline_us = 200'000;
+  int threads = 2;
+  uint64_t seed = 1;
+  double rate = 0.0;        ///< failpoint probability at every site
+  std::string spec;         ///< overrides the --rate-derived spec
+  size_t queue = 64;
+  double rate_limit = 0.0;  ///< token-bucket qps; <= 0 disables
+  std::string metrics_out;  ///< JSON metrics snapshot path (optional)
+  bool smoke = false;
+  bool selfcheck = false;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  if (arg[len] == '\0') {
+    value->clear();
+    return true;
+  }
+  if (arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: codes_load [--requests=N] [--qps=Q] [--workers=N]\n"
+      "                  [--service-us=N] [--deadline-us=N] [--threads=N]\n"
+      "                  [--seed=S] [--rate=P] [--spec=SPEC] [--queue=N]\n"
+      "                  [--rate-limit=Q] [--metrics-out=PATH]\n"
+      "                  [--selfcheck] [--smoke]\n");
+}
+
+/// The registry snapshot compared across thread counts: every counter and
+/// gauge (all driven by virtual-time decisions or per-request counts),
+/// plus the serve.* histograms (observed in virtual µs). Wall-clock
+/// histograms (span.*, pool.task_wait_us) are real timings and excluded.
+codes::MetricsSnapshot DeterministicView(const codes::MetricsSnapshot& s) {
+  codes::MetricsSnapshot out;
+  out.counters = s.counters;
+  out.gauges = s.gauges;
+  for (const auto& [name, data] : s.histograms) {
+    if (name.rfind("serve.", 0) == 0) out.histograms[name] = data;
+  }
+  return out;
+}
+
+uint64_t CounterOr0(const codes::MetricsSnapshot& s, const char* name) {
+  auto it = s.counters.find(name);
+  return it == s.counters.end() ? 0 : it->second;
+}
+
+/// Asserts the admission accounting contract from the emitted metrics
+/// (not from the report — the point is that the exported numbers add up).
+int CheckSumInvariant(const codes::MetricsSnapshot& snapshot,
+                      const codes::serve::LoadReport& report) {
+  uint64_t offered = CounterOr0(snapshot, "serve.offered");
+  uint64_t admitted = CounterOr0(snapshot, "serve.admitted");
+  uint64_t rejected = CounterOr0(snapshot, "serve.rejected");
+  uint64_t shed = CounterOr0(snapshot, "serve.shed");
+  int bad = 0;
+  if (admitted + rejected + shed != offered) {
+    std::printf("INVARIANT VIOLATION: admitted=%" PRIu64 " + rejected=%" PRIu64
+                " + shed=%" PRIu64 " != offered=%" PRIu64 "\n",
+                admitted, rejected, shed, offered);
+    bad = 1;
+  }
+  if (CounterOr0(snapshot, "serve.rejected.rate") +
+          CounterOr0(snapshot, "serve.rejected.queue_full") !=
+      rejected) {
+    std::printf("INVARIANT VIOLATION: serve.rejected.* do not sum to "
+                "serve.rejected=%" PRIu64 "\n",
+                rejected);
+    bad = 1;
+  }
+  if (CounterOr0(snapshot, "serve.shed.deadline") +
+          CounterOr0(snapshot, "serve.shed.drain") !=
+      shed) {
+    std::printf("INVARIANT VIOLATION: serve.shed.* do not sum to "
+                "serve.shed=%" PRIu64 "\n",
+                shed);
+    bad = 1;
+  }
+  if (offered != report.offered) {
+    std::printf("INVARIANT VIOLATION: serve.offered=%" PRIu64
+                " != campaign offered=%" PRIu64 "\n",
+                offered, report.offered);
+    bad = 1;
+  }
+  if (bad == 0) {
+    std::printf("metrics: serve.admitted + serve.rejected + serve.shed == "
+                "serve.offered == %" PRIu64 "\n",
+                offered);
+  }
+  return bad;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    bool ok = true;
+    if (ParseFlag(argv[i], "--requests", &value)) {
+      ok = codes::ParseInt(value, &flags.requests);
+    } else if (ParseFlag(argv[i], "--qps", &value)) {
+      ok = codes::ParseFiniteDouble(value, &flags.qps);
+    } else if (ParseFlag(argv[i], "--workers", &value)) {
+      ok = codes::ParseInt(value, &flags.workers);
+    } else if (ParseFlag(argv[i], "--service-us", &value)) {
+      ok = codes::ParseUint64(value, &flags.service_us);
+    } else if (ParseFlag(argv[i], "--deadline-us", &value)) {
+      ok = codes::ParseUint64(value, &flags.deadline_us);
+    } else if (ParseFlag(argv[i], "--threads", &value)) {
+      ok = codes::ParseInt(value, &flags.threads);
+    } else if (ParseFlag(argv[i], "--seed", &value)) {
+      ok = codes::ParseUint64(value, &flags.seed);
+    } else if (ParseFlag(argv[i], "--rate", &value)) {
+      ok = codes::ParseFiniteDouble(value, &flags.rate);
+    } else if (ParseFlag(argv[i], "--spec", &value)) {
+      flags.spec = value;
+    } else if (ParseFlag(argv[i], "--queue", &value)) {
+      ok = codes::ParseSize(value, &flags.queue);
+    } else if (ParseFlag(argv[i], "--rate-limit", &value)) {
+      ok = codes::ParseFiniteDouble(value, &flags.rate_limit);
+    } else if (ParseFlag(argv[i], "--metrics-out", &value)) {
+      flags.metrics_out = value;
+    } else if (ParseFlag(argv[i], "--selfcheck", &value)) {
+      flags.selfcheck = true;
+    } else if (ParseFlag(argv[i], "--smoke", &value)) {
+      flags.smoke = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      Usage();
+      return 2;
+    }
+    if (!ok) {
+      std::fprintf(stderr, "bad value in flag: %s\n", argv[i]);
+      Usage();
+      return 2;
+    }
+  }
+  if (flags.smoke) {
+    // Fixed 2x-saturation configuration for ctest / CI gating: capacity is
+    // 4 workers / 20 ms = 200 qps, offered 400 qps.
+    flags.requests = 600;
+    flags.qps = 400.0;
+    flags.workers = 4;
+    flags.service_us = 20'000;
+    flags.deadline_us = 200'000;
+    flags.threads = 8;
+    flags.seed = 20240806;
+    flags.rate = 0.02;
+    flags.selfcheck = true;
+  }
+  if (flags.requests < 1 || flags.qps <= 0.0 || flags.workers < 1 ||
+      flags.service_us < 1 || flags.threads < 1 || flags.rate < 0.0 ||
+      flags.rate > 1.0 || flags.queue < 1) {
+    Usage();
+    return 2;
+  }
+
+  codes::serve::LoadGenOptions options;
+  options.seed = flags.seed;
+  options.num_requests = flags.requests;
+  options.offered_qps = flags.qps;
+  options.virtual_workers = flags.workers;
+  options.service_base_us = flags.service_us;
+  options.deadline_us = flags.deadline_us;
+  options.threads = flags.threads;
+  options.front_end.admission.queue_capacity = flags.queue;
+  options.front_end.admission.rate_per_sec = flags.rate_limit;
+  if (!flags.spec.empty()) {
+    options.failpoint_spec = flags.spec;
+  } else if (flags.rate > 0.0) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "*=prob:%g", flags.rate);
+    options.failpoint_spec = buf;
+  }
+
+  auto start = std::chrono::steady_clock::now();
+  // Fixture: the tiny Spider-like benchmark with a fully set-up pipeline,
+  // the same serving configuration codes_chaos campaigns exercise.
+  auto bench = codes::BuildTinySpiderLike(2024);
+  codes::LmZoo zoo(1, 31);
+  codes::PipelineConfig config;
+  config.size = codes::ModelSize::k7B;
+  codes::CodesPipeline pipeline(config, zoo.CodesFor(config.size));
+  pipeline.TrainClassifier(bench);
+  pipeline.FineTune(bench);
+
+  // Setup is done: zero the registry so the exported snapshot covers
+  // exactly the campaign.
+  codes::MetricsRegistry::Global().Reset();
+  codes::serve::LoadReport report =
+      codes::serve::RunLoadCampaign(pipeline, bench, options);
+  codes::MetricsSnapshot snapshot =
+      codes::MetricsRegistry::Global().Snapshot();
+
+  std::printf("load campaign: requests=%d qps=%g workers=%d service_us=%"
+              PRIu64 " seed=%" PRIu64 " spec=\"%s\"\n",
+              flags.requests, flags.qps, flags.workers, flags.service_us,
+              flags.seed, options.failpoint_spec.c_str());
+  std::fputs(report.Summary().c_str(), stdout);
+
+  int exit_code = 0;
+  if (CheckSumInvariant(snapshot, report) != 0) exit_code = 1;
+  if (report.admitted + report.rejected_rate + report.rejected_queue_full +
+          report.shed_deadline + report.shed_drain !=
+      report.offered) {
+    std::printf("INVARIANT VIOLATION: per-request outcomes do not sum to "
+                "offered=%" PRIu64 "\n",
+                report.offered);
+    exit_code = 1;
+  }
+
+  if (!flags.metrics_out.empty()) {
+    std::FILE* out = std::fopen(flags.metrics_out.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", flags.metrics_out.c_str());
+      return 2;
+    }
+    std::string json = snapshot.ToJson() + "\n";
+    std::fwrite(json.data(), 1, json.size(), out);
+    std::fclose(out);
+    std::fprintf(stderr, "metrics snapshot written to %s\n",
+                 flags.metrics_out.c_str());
+  }
+
+  if (flags.selfcheck) {
+    // The whole campaign must replay byte-identically single-threaded:
+    // every control decision happens at virtual timestamps derived from
+    // the seed, never from real scheduling. Both the per-request digest
+    // and the deterministic view of the metrics snapshot are compared.
+    std::string view = DeterministicView(snapshot).ToJson();
+    codes::MetricsRegistry::Global().Reset();
+    codes::serve::LoadGenOptions serial = options;
+    serial.threads = 1;
+    codes::serve::LoadReport replay =
+        codes::serve::RunLoadCampaign(pipeline, bench, serial);
+    std::string serial_view =
+        DeterministicView(codes::MetricsRegistry::Global().Snapshot())
+            .ToJson();
+    if (replay.digest == report.digest && serial_view == view) {
+      std::printf("selfcheck: 1-thread replay digest and metrics match\n");
+    } else {
+      std::printf("selfcheck FAILED: %d-thread digest %016" PRIx64
+                  " != 1-thread digest %016" PRIx64 " (metrics %s)\n",
+                  flags.threads, report.digest, replay.digest,
+                  serial_view == view ? "match" : "differ");
+      exit_code = 1;
+    }
+  }
+
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  std::fprintf(stderr, "elapsed: %lld ms (%d threads)\n",
+               static_cast<long long>(elapsed), flags.threads);
+  return exit_code;
+}
