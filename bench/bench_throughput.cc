@@ -1,0 +1,98 @@
+// Thin throughput harness for the CI perf gate: queries/sec of the
+// parallel batched evaluator (7B SFT) at 1 and 8 threads, with the EX
+// metric asserted identical across thread counts, written to
+// BENCH_throughput.json via --json-out. bench_latency prints the full
+// 1/2/4/8 paper table; this binary exists so the perf job can harvest a
+// machine-readable snapshot without paying for the whole latency sheet.
+//
+// Schema notes (DESIGN.md section 13): the 1-thread rate is gated
+// (calibration-normalized); the 8-thread rate and scaling factor depend
+// on the runner's core count, so they ride in the noisy allowlist.
+
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "bench/perf_report.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/model_zoo.h"
+#include "core/pipeline.h"
+#include "dataset/benchmark_builder.h"
+#include "eval/parallel_eval.h"
+
+namespace codes {
+namespace {
+
+void Run(bench::PerfReport* report, bool quick) {
+  bench::Banner("Throughput: parallel batched evaluation (7B SFT)");
+  std::printf("hardware threads: %d\n", ThreadPool::ResolveThreadCount(0));
+
+  auto spider = BuildSpiderLike();
+  LmZoo zoo;
+  PipelineConfig config;
+  config.size = ModelSize::k7B;
+  CodesPipeline pipeline(config, zoo.CodesFor(config.size));
+  pipeline.TrainClassifier(spider);
+  pipeline.FineTune(spider);
+
+  // Warm the per-database retriever cache so both thread counts measure
+  // inference, not index construction.
+  std::set<int> warmed;
+  for (const auto& sample : spider.dev) {
+    if (warmed.insert(sample.db_index).second) {
+      (void)pipeline.BuildPrompt(spider, sample);
+    }
+  }
+
+  const int samples = quick ? 80 : 200;
+  bench::TablePrinter table({10, 12, 12, 10, 8});
+  table.Row({"threads", "seconds", "queries/s", "speedup", "EX%"});
+  table.Separator();
+  double qps_1t = 0.0;
+  double qps_8t = 0.0;
+  double ex_1t = 0.0;
+  for (int threads : {1, 8}) {
+    EvalOptions options;
+    options.num_threads = threads;
+    options.max_samples = samples;
+    Timer timer;
+    EvalResult result =
+        ParallelEvaluateDevSet(spider, pipeline.PredictorFor(spider), options);
+    double seconds = timer.ElapsedSeconds();
+    double qps = result.metrics.n / seconds;
+    if (threads == 1) {
+      qps_1t = qps;
+      ex_1t = result.metrics.ex;
+    } else {
+      qps_8t = qps;
+      // The determinism contract: sharding must not move accuracy.
+      CODES_CHECK(result.metrics.ex == ex_1t);
+    }
+    table.Row({std::to_string(threads), FormatDouble(seconds, 2),
+               FormatDouble(qps, 1),
+               FormatDouble(qps / qps_1t, 2) + "x", bench::Pct(result.metrics.ex)});
+  }
+  std::printf(
+      "\nEX%% is asserted identical across thread counts: the driver "
+      "shards deterministically and merges in sample order.\n");
+
+  report->Add("eval_qps_1t_per_sec", qps_1t);
+  report->AddNoisy("eval_qps_8t_per_sec", qps_8t);
+  report->AddNoisy("eval_scaling_8t_speedup_x", qps_8t / qps_1t);
+  report->Add("eval_ex_pct", ex_1t);
+}
+
+}  // namespace
+}  // namespace codes
+
+int main(int argc, char** argv) {
+  const bool quick = codes::bench::QuickRequested(argc, argv);
+  codes::bench::PerfReport report("throughput", quick ? "quick" : "full");
+  report.SetCalibration(codes::bench::CalibrateOpsPerSec());
+  codes::Run(&report, quick);
+  if (!report.WriteIfRequested(argc, argv)) return 1;
+  return 0;
+}

@@ -10,7 +10,33 @@
 
 namespace codes {
 
-std::vector<std::string> Bm25Index::Analyze(std::string_view text) {
+namespace {
+
+/// Per-thread scoring scratch: a dense accumulator over doc ids plus the
+/// list of touched docs (so only visited entries are reset afterwards).
+/// The accumulator is all-zero between queries — that invariant is what
+/// lets one buffer serve every index on the thread.
+struct QueryScratch {
+  std::vector<double> scores;
+  std::vector<int32_t> touched;
+};
+
+QueryScratch& GetQueryScratch() {
+  thread_local QueryScratch scratch;
+  return scratch;
+}
+
+/// The ranking order: score descending, doc id ascending on ties. A strict
+/// total order (doc ids are unique), so bounded top-k selection and a full
+/// sort agree exactly.
+inline bool BetterHit(const Bm25Hit& a, const Bm25Hit& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.doc_id < b.doc_id;
+}
+
+}  // namespace
+
+std::vector<std::string> Bm25AnalyzeText(std::string_view text) {
   std::vector<std::string> tokens;
   for (auto& word : WordTokens(text)) {
     tokens.push_back(StemToken(word));
@@ -26,18 +52,30 @@ std::vector<std::string> Bm25Index::Analyze(std::string_view text) {
 
 int Bm25Index::AddDocument(std::string_view text) {
   int doc_id = static_cast<int>(doc_lengths_.size());
-  auto tokens = Analyze(text);
-  std::unordered_map<std::string, int> counts;
-  for (const auto& t : tokens) counts[t] += 1;
-  for (const auto& [term, freq] : counts) {
-    postings_[term].push_back(Posting{doc_id, freq});
+  auto tokens = Bm25AnalyzeText(text);
+  // Term frequencies via interned ids: sort the small id vector and
+  // run-length encode (no per-document hash map).
+  std::vector<uint32_t> ids;
+  ids.reserve(tokens.size());
+  for (const auto& t : tokens) {
+    uint32_t id = terms_.Intern(t);
+    if (id == build_postings_.size()) build_postings_.emplace_back();
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (size_t i = 0; i < ids.size();) {
+    size_t j = i;
+    while (j < ids.size() && ids[j] == ids[i]) ++j;
+    build_postings_[ids[i]].push_back(
+        Posting{doc_id, static_cast<int32_t>(j - i)});
+    i = j;
   }
   doc_lengths_.push_back(static_cast<int>(tokens.size()));
   doc_texts_.emplace_back(text);
-  // Every mutation stales the whole IDF table (idf depends on the total
-  // document count, not just the new document's terms); mark dirty so
-  // the next Query recomputes instead of scoring with stale statistics.
-  finalized_.store(false, std::memory_order_release);
+  // Every mutation stales the whole derived layout (idf depends on the
+  // total document count, not just the new document's terms): the caller
+  // must Finalize() at the end of the batch before querying again.
+  finalized_ = false;
   return doc_id;
 }
 
@@ -46,62 +84,114 @@ void Bm25Index::Finalize() {
   double total_length = 0;
   for (int len : doc_lengths_) total_length += len;
   avg_doc_length_ = n > 0 ? total_length / n : 0.0;
-  idf_.clear();
-  idf_.reserve(postings_.size());
-  for (const auto& [term, posting_list] : postings_) {
-    double df = static_cast<double>(posting_list.size());
+
+  // Flatten per-term posting vectors into one CSR layout.
+  size_t total_postings = 0;
+  for (const auto& postings : build_postings_) {
+    total_postings += postings.size();
+  }
+  posting_begin_.assign(build_postings_.size() + 1, 0);
+  posting_doc_.clear();
+  posting_doc_.reserve(total_postings);
+  posting_tf_.clear();
+  posting_tf_.reserve(total_postings);
+  idf_.assign(build_postings_.size(), 0.0);
+  for (size_t term = 0; term < build_postings_.size(); ++term) {
+    posting_begin_[term] = static_cast<uint32_t>(posting_doc_.size());
+    for (const Posting& posting : build_postings_[term]) {
+      posting_doc_.push_back(posting.doc_id);
+      posting_tf_.push_back(posting.term_freq);
+    }
+    double df = static_cast<double>(build_postings_[term].size());
     idf_[term] = std::log(1.0 + (n - df + 0.5) / (df + 0.5));
   }
-  finalized_.store(true, std::memory_order_release);
-}
+  posting_begin_[build_postings_.size()] =
+      static_cast<uint32_t>(posting_doc_.size());
 
-void Bm25Index::EnsureFinalized() const {
-  if (finalized_.load(std::memory_order_acquire)) return;
-  std::lock_guard<std::mutex> lock(finalize_mu_);
-  if (finalized_.load(std::memory_order_acquire)) return;  // lost the race
-  static Counter& refinalizes =
-      MetricsRegistry::Global().GetCounter("bm25.lazy_refinalizes");
-  refinalizes.Increment();
-  const_cast<Bm25Index*>(this)->Finalize();
+  // Precompute the per-document length normalization: the old hot loop
+  // recomputed k1*(1-b+b*dl/avgdl) for every posting visited.
+  doc_norm_.resize(doc_lengths_.size());
+  for (size_t doc = 0; doc < doc_lengths_.size(); ++doc) {
+    double dl = static_cast<double>(doc_lengths_[doc]);
+    doc_norm_[doc] =
+        k1_ * (1.0 - b_ + b_ * dl / std::max(avg_doc_length_, 1e-9));
+  }
+  finalized_ = true;
 }
 
 std::vector<Bm25Hit> Bm25Index::Query(std::string_view query,
                                       int top_k) const {
   CODES_TRACE_SPAN(span, "bm25.lookup");
-  EnsureFinalized();
+  // Eager-finalize contract: scoring an unfinalized index would use stale
+  // IDF statistics and silently mis-rank, so it is a programmer error.
+  CODES_CHECK(finalized_ && "Bm25Index::Query before Finalize()");
   // An injected lookup failure degrades to "no coarse candidates": the
   // value retriever then matches nothing and the prompt carries no values,
   // which is exactly the production behaviour when a search backend is out.
   if (Failpoints::ShouldFail(FailpointSite::kBm25Lookup)) return {};
-  std::unordered_map<int, double> scores;
-  auto terms = Analyze(query);
+
+  auto term_strings = Bm25AnalyzeText(query);
   // Deduplicate query terms; repeated terms in short queries add noise.
-  std::sort(terms.begin(), terms.end());
-  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
-  for (const auto& term : terms) {
-    auto pit = postings_.find(term);
-    if (pit == postings_.end()) continue;
-    double idf = idf_.at(term);
-    for (const auto& posting : pit->second) {
-      double tf = static_cast<double>(posting.term_freq);
-      double dl = static_cast<double>(doc_lengths_[posting.doc_id]);
-      double denom =
-          tf + k1_ * (1.0 - b_ + b_ * dl / std::max(avg_doc_length_, 1e-9));
-      scores[posting.doc_id] += idf * tf * (k1_ + 1.0) / denom;
+  // Sorted order also fixes the accumulation order per document, which is
+  // what keeps scores byte-identical to the reference index.
+  std::sort(term_strings.begin(), term_strings.end());
+  term_strings.erase(std::unique(term_strings.begin(), term_strings.end()),
+                     term_strings.end());
+
+  QueryScratch& scratch = GetQueryScratch();
+  if (scratch.scores.size() < doc_lengths_.size()) {
+    scratch.scores.resize(doc_lengths_.size(), 0.0);
+  }
+  scratch.touched.clear();
+  const double k1_plus_1 = k1_ + 1.0;
+  for (const auto& term : term_strings) {
+    uint32_t term_id = terms_.Find(term);
+    if (term_id == StringInterner::kNpos) continue;
+    double idf = idf_[term_id];
+    for (uint32_t p = posting_begin_[term_id]; p < posting_begin_[term_id + 1];
+         ++p) {
+      int32_t doc = posting_doc_[p];
+      double tf = static_cast<double>(posting_tf_[p]);
+      double denom = tf + doc_norm_[doc];
+      double& slot = scratch.scores[doc];
+      // Contributions are strictly positive (idf > 0 for df <= n, tf >= 1),
+      // so zero reliably means "not yet touched".
+      if (slot == 0.0) scratch.touched.push_back(doc);
+      slot += idf * tf * k1_plus_1 / denom;
     }
   }
+
   std::vector<Bm25Hit> hits;
-  hits.reserve(scores.size());
-  for (const auto& [doc_id, score] : scores) {
-    hits.push_back(Bm25Hit{doc_id, score});
+  if (top_k < 0 || scratch.touched.size() <= static_cast<size_t>(top_k)) {
+    hits.reserve(scratch.touched.size());
+    for (int32_t doc : scratch.touched) {
+      hits.push_back(Bm25Hit{doc, scratch.scores[doc]});
+      scratch.scores[doc] = 0.0;
+    }
+    std::sort(hits.begin(), hits.end(), BetterHit);
+    return hits;
   }
-  std::sort(hits.begin(), hits.end(), [](const Bm25Hit& a, const Bm25Hit& b) {
-    if (a.score != b.score) return a.score > b.score;
-    return a.doc_id < b.doc_id;
-  });
-  if (top_k >= 0 && hits.size() > static_cast<size_t>(top_k)) {
-    hits.resize(static_cast<size_t>(top_k));
+
+  // Bounded top-k: a heap of the k best seen so far, worst on top. Same
+  // total order as the full sort, so the selected set and its final order
+  // match sort-then-truncate exactly.
+  auto worse_on_top = [](const Bm25Hit& a, const Bm25Hit& b) {
+    return BetterHit(a, b);
+  };
+  hits.reserve(static_cast<size_t>(top_k) + 1);
+  for (int32_t doc : scratch.touched) {
+    Bm25Hit hit{doc, scratch.scores[doc]};
+    scratch.scores[doc] = 0.0;
+    if (hits.size() < static_cast<size_t>(top_k)) {
+      hits.push_back(hit);
+      std::push_heap(hits.begin(), hits.end(), worse_on_top);
+    } else if (BetterHit(hit, hits.front())) {
+      std::pop_heap(hits.begin(), hits.end(), worse_on_top);
+      hits.back() = hit;
+      std::push_heap(hits.begin(), hits.end(), worse_on_top);
+    }
   }
+  std::sort(hits.begin(), hits.end(), BetterHit);
   return hits;
 }
 

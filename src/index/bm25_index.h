@@ -1,12 +1,11 @@
 #ifndef CODES_INDEX_BM25_INDEX_H_
 #define CODES_INDEX_BM25_INDEX_H_
 
-#include <atomic>
-#include <mutex>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
+
+#include "common/flat_hash.h"
 
 namespace codes {
 
@@ -16,6 +15,12 @@ struct Bm25Hit {
   double score = 0.0;
 };
 
+/// The shared analyzer: stemmed word tokens plus 3-character-grams (so
+/// partial matches like "Jesenik" in "Jesenik branch" still score). Both
+/// Bm25Index and the pinned ReferenceBm25Index use exactly this function —
+/// the equivalence suite depends on the two indexes agreeing on analysis.
+std::vector<std::string> Bm25AnalyzeText(std::string_view text);
+
 /// In-memory inverted index with Okapi BM25 ranking.
 ///
 /// This replaces the Lucene/pyserini index the paper uses for the coarse
@@ -23,53 +28,51 @@ struct Bm25Hit {
 /// values; queries are user questions; the index returns the top-k
 /// candidate values for fine-grained LCS re-ranking.
 ///
-/// Usage: AddDocument() for every value, then Query(). Finalize() may be
-/// called explicitly to front-load the IDF computation; otherwise the
-/// first Query after a mutation re-finalizes lazily, so incremental adds
-/// score exactly like a from-scratch build (IDF depends on the total
-/// document count, so every mutation invalidates every term's IDF — a
-/// stale table here silently mis-ranks).
+/// Hot-path layout (the speed-campaign rewrite; DESIGN.md section 13):
+/// terms are interned into dense IDs (arena-backed dictionary, no
+/// per-term string nodes), postings live in flat CSR-style arrays built
+/// at Finalize, per-document length normalization is precomputed, and
+/// scoring accumulates into a dense per-thread scratch with a bounded
+/// top-k heap instead of a string-keyed map plus full sort. Results are
+/// byte-identical to the map-based ReferenceBm25Index (pinned by
+/// tests/speed_equivalence_test.cc).
 ///
-/// Thread-safety: concurrent Query calls are safe (including the lazy
-/// re-finalization, which is serialized internally). AddDocument must
-/// not race with Query — same setup-then-serve contract as the rest of
-/// the library.
+/// Usage contract: AddDocument() for every value, then Finalize(), then
+/// Query(). Finalize is eager and mandatory — Query CHECK-fails on an
+/// unfinalized index. Incremental adds are supported by finalizing again
+/// after the batch; a batch-end finalize is exactly as fresh as a
+/// from-scratch build (IDF depends on the total document count, so every
+/// mutation invalidates every term's IDF — a stale table silently
+/// mis-ranks, and the old lazily-re-finalizing contract paid an atomic
+/// load plus double-checked mutex on every query to paper over it).
+///
+/// Thread-safety: concurrent Query calls on a finalized index are safe
+/// (scoring scratch is thread-local). AddDocument/Finalize must not race
+/// with Query — the same setup-then-serve contract as the rest of the
+/// library.
 class Bm25Index {
  public:
   /// Standard Okapi parameters.
   explicit Bm25Index(double k1 = 1.2, double b = 0.75) : k1_(k1), b_(b) {}
 
-  Bm25Index(Bm25Index&& other) noexcept { *this = std::move(other); }
-  Bm25Index& operator=(Bm25Index&& other) noexcept {
-    if (this != &other) {
-      k1_ = other.k1_;
-      b_ = other.b_;
-      finalized_.store(other.finalized_.load(std::memory_order_acquire),
-                       std::memory_order_release);
-      avg_doc_length_ = other.avg_doc_length_;
-      doc_lengths_ = std::move(other.doc_lengths_);
-      doc_texts_ = std::move(other.doc_texts_);
-      postings_ = std::move(other.postings_);
-      idf_ = std::move(other.idf_);
-    }
-    return *this;
-  }
-
-  /// Adds a document and returns its id (dense, starting at 0).
-  /// Tokens are stemmed words plus 3-character-grams, so that partial
-  /// matches ("Jesenik" in "Jesenik branch") still score.
+  /// Adds a document and returns its id (dense, starting at 0). Marks the
+  /// index unfinalized until the next Finalize().
   int AddDocument(std::string_view text);
 
   /// Number of indexed documents.
   int NumDocuments() const { return static_cast<int>(doc_lengths_.size()); }
 
-  /// Computes IDF statistics over the current document set. Optional:
-  /// Query() re-finalizes lazily whenever a mutation left the index
-  /// dirty. Idempotent.
+  /// Computes IDF statistics and flattens postings over the current
+  /// document set. Must be called after the last AddDocument of a batch
+  /// and before the first Query. Idempotent.
   void Finalize();
 
+  /// True once Finalize() has run against the current document set.
+  bool finalized() const { return finalized_; }
+
   /// Returns the `top_k` highest-scoring documents for `query`, sorted by
-  /// descending score. Only documents sharing at least one token appear.
+  /// descending score (doc id breaks ties). Only documents sharing at
+  /// least one token appear. CHECK-fails when the index is not finalized.
   std::vector<Bm25Hit> Query(std::string_view query, int top_k) const;
 
   /// Original text of a document.
@@ -78,30 +81,32 @@ class Bm25Index {
   }
 
  private:
-  static std::vector<std::string> Analyze(std::string_view text);
-
-  /// Serializes the lazy re-finalization when concurrent Query calls hit
-  /// a dirty index at the same time (double-checked on `finalized_`).
-  void EnsureFinalized() const;
-
   struct Posting {
-    int doc_id;
-    int term_freq;
+    int32_t doc_id;
+    int32_t term_freq;
   };
 
   double k1_;
   double b_;
-  /// Release-store on finalize / acquire-load in Query: a query that
-  /// sees `true` also sees the idf_ table it guards.
-  mutable std::atomic<bool> finalized_{false};
-  mutable std::mutex finalize_mu_;
-  /// IDF state is derived from postings_ and may be (re)computed from a
-  /// const Query via EnsureFinalized.
-  mutable double avg_doc_length_ = 0;
+  bool finalized_ = false;
+  double avg_doc_length_ = 0;
   std::vector<int> doc_lengths_;
   std::vector<std::string> doc_texts_;
-  std::unordered_map<std::string, std::vector<Posting>> postings_;
-  mutable std::unordered_map<std::string, double> idf_;
+
+  /// Build-time state: term dictionary plus per-term posting vectors.
+  /// Kept after Finalize so an incremental batch can re-finalize.
+  StringInterner terms_;
+  std::vector<std::vector<Posting>> build_postings_;
+
+  /// Finalized flat layout, rebuilt by Finalize: CSR postings
+  /// (posting_begin_[t]..posting_begin_[t+1] index posting_doc_/
+  /// posting_tf_), per-term IDF, and the precomputed per-document length
+  /// normalization k1*(1-b+b*dl/avgdl).
+  std::vector<uint32_t> posting_begin_;
+  std::vector<int32_t> posting_doc_;
+  std::vector<int32_t> posting_tf_;
+  std::vector<double> idf_;
+  std::vector<double> doc_norm_;
 };
 
 }  // namespace codes

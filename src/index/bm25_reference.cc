@@ -1,0 +1,72 @@
+#include "index/bm25_reference.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace codes {
+
+int ReferenceBm25Index::AddDocument(std::string_view text) {
+  int doc_id = static_cast<int>(doc_lengths_.size());
+  auto tokens = Bm25AnalyzeText(text);
+  std::unordered_map<std::string, int> counts;
+  for (const auto& t : tokens) counts[t] += 1;
+  for (const auto& [term, freq] : counts) {
+    postings_[term].push_back(Posting{doc_id, freq});
+  }
+  doc_lengths_.push_back(static_cast<int>(tokens.size()));
+  doc_texts_.emplace_back(text);
+  finalized_ = false;
+  return doc_id;
+}
+
+void ReferenceBm25Index::Finalize() {
+  const double n = static_cast<double>(doc_lengths_.size());
+  double total_length = 0;
+  for (int len : doc_lengths_) total_length += len;
+  avg_doc_length_ = n > 0 ? total_length / n : 0.0;
+  idf_.clear();
+  idf_.reserve(postings_.size());
+  for (const auto& [term, posting_list] : postings_) {
+    double df = static_cast<double>(posting_list.size());
+    idf_[term] = std::log(1.0 + (n - df + 0.5) / (df + 0.5));
+  }
+  finalized_ = true;
+}
+
+std::vector<Bm25Hit> ReferenceBm25Index::Query(std::string_view query,
+                                               int top_k) const {
+  CODES_CHECK(finalized_ && "ReferenceBm25Index::Query before Finalize()");
+  std::unordered_map<int, double> scores;
+  auto terms = Bm25AnalyzeText(query);
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+  for (const auto& term : terms) {
+    auto pit = postings_.find(term);
+    if (pit == postings_.end()) continue;
+    double idf = idf_.at(term);
+    for (const auto& posting : pit->second) {
+      double tf = static_cast<double>(posting.term_freq);
+      double dl = static_cast<double>(doc_lengths_[posting.doc_id]);
+      double denom =
+          tf + k1_ * (1.0 - b_ + b_ * dl / std::max(avg_doc_length_, 1e-9));
+      scores[posting.doc_id] += idf * tf * (k1_ + 1.0) / denom;
+    }
+  }
+  std::vector<Bm25Hit> hits;
+  hits.reserve(scores.size());
+  for (const auto& [doc_id, score] : scores) {
+    hits.push_back(Bm25Hit{doc_id, score});
+  }
+  std::sort(hits.begin(), hits.end(), [](const Bm25Hit& a, const Bm25Hit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc_id < b.doc_id;
+  });
+  if (top_k >= 0 && hits.size() > static_cast<size_t>(top_k)) {
+    hits.resize(static_cast<size_t>(top_k));
+  }
+  return hits;
+}
+
+}  // namespace codes

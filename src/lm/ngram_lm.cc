@@ -21,74 +21,91 @@ double OrderWeight(int k, int max_order) {
 
 }  // namespace
 
-NgramLm::NgramLm(int order) : order_(order) { CODES_CHECK(order >= 1); }
+NgramLm::NgramLm(int order) : order_(order), ctx_total_(1, 0) {
+  CODES_CHECK(order >= 1);
+}
 
 void NgramLm::Train(const std::vector<std::string>& documents, int epochs) {
   for (int epoch = 0; epoch < epochs; ++epoch) {
     for (const auto& doc : documents) {
       std::vector<std::string> tokens = CodeTokens(doc);
       if (tokens.empty()) continue;
-      // Prepend BOS markers so initial tokens have context.
-      std::vector<std::string> padded;
-      padded.reserve(tokens.size() + order_ - 1);
-      for (int i = 0; i < order_ - 1; ++i) padded.push_back(kBos);
-      for (auto& t : tokens) padded.push_back(std::move(t));
+      // Prepend BOS markers so initial tokens have context, then map the
+      // whole padded sequence to interned ids once.
+      std::vector<uint32_t> padded;
+      padded.reserve(tokens.size() + static_cast<size_t>(order_ - 1));
+      for (int i = 0; i < order_ - 1; ++i) {
+        padded.push_back(vocab_.Intern(kBos));
+      }
+      for (const auto& t : tokens) {
+        padded.push_back(vocab_.Intern(t));
+      }
+      // One slot per interned id (BOS included, though it is only ever a
+      // context and its count stays 0).
+      unigram_count_.resize(vocab_.size(), 0);
 
       for (size_t i = static_cast<size_t>(order_ - 1); i < padded.size();
            ++i) {
-        const std::string& next = padded[i];
-        unigram_counts_[next] += 1;
+        const uint32_t next = padded[i];
+        uint64_t& unigrams = unigram_count_[next];
+        // CodeTokens never emits the literal "<s>", so `next` is a real
+        // token and first sight of it grows the vocabulary.
+        if (unigrams == 0) ++distinct_unigrams_;
+        unigrams += 1;
         ++unigram_total_;
         ++total_tokens_;
-        // Contexts of length 1 .. order-1.
-        std::string context;
+        // Contexts of length 1 .. order-1, each reached by prepending the
+        // next-older token: one trie probe per level, no string joins.
+        uint32_t ctx = 0;
         for (int len = 1; len < order_; ++len) {
-          const std::string& tok = padded[i - static_cast<size_t>(len)];
-          if (len == 1) {
-            context = tok;
-          } else {
-            context = tok + " " + context;
-          }
-          context_counts_[context][next] += 1;
+          const uint32_t tok = padded[i - static_cast<size_t>(len)];
+          bool inserted = false;
+          ctx = ctx_ids_.FindOrInsert(
+              PackKey(ctx, tok), static_cast<uint32_t>(ctx_total_.size()),
+              &inserted);
+          if (inserted) ctx_total_.push_back(0);
+          counts_.FindOrInsert(PackKey(ctx, next), 0) += 1;
+          ctx_total_[ctx] += 1;
         }
       }
     }
   }
 }
 
-double NgramLm::TokenLogProb(const std::vector<std::string>& tokens,
+double NgramLm::TokenLogProb(const std::vector<uint32_t>& ids,
                              size_t i) const {
-  const std::string& next = tokens[i];
+  const uint32_t next = ids[i];
   // Uniform floor over an (open) vocabulary.
-  double vocab = static_cast<double>(unigram_counts_.size()) + 1000.0;
+  double vocab = static_cast<double>(distinct_unigrams_) + 1000.0;
   double p = 0.05 / vocab;
 
   double remaining = 0.95;
   // Unigram share.
   double unigram_weight = remaining * OrderWeight(1, order_);
   if (unigram_total_ > 0) {
-    auto it = unigram_counts_.find(next);
-    double count = (it == unigram_counts_.end())
+    double count = (next == StringInterner::kNpos)
                        ? 0.0
-                       : static_cast<double>(it->second);
+                       : static_cast<double>(unigram_count_[next]);
     p += unigram_weight * count / static_cast<double>(unigram_total_);
   }
-  // Higher-order shares.
-  std::string context;
+  // Higher-order shares. A context containing an untrained token cannot
+  // exist, and context presence is suffix-monotone (a trained length-L+1
+  // context implies its trained length-L suffix), so the first failed
+  // probe ends the walk — the reference implementation reaches the same
+  // probability by failing every longer lookup individually.
+  uint32_t ctx = 0;
   for (int len = 1; len < order_; ++len) {
-    const std::string& tok = tokens[i - static_cast<size_t>(len)];
-    if (len == 1) {
-      context = tok;
-    } else {
-      context = tok + " " + context;
+    const uint32_t tok = ids[i - static_cast<size_t>(len)];
+    if (tok == StringInterner::kNpos) break;
+    const uint32_t* ctx_it = ctx_ids_.Find(PackKey(ctx, tok));
+    if (ctx_it == nullptr) break;
+    ctx = *ctx_it;
+    double total = static_cast<double>(ctx_total_[ctx]);
+    double count = 0.0;
+    if (next != StringInterner::kNpos) {
+      const uint32_t* c = counts_.Find(PackKey(ctx, next));
+      if (c != nullptr) count = static_cast<double>(*c);
     }
-    auto ctx_it = context_counts_.find(context);
-    if (ctx_it == context_counts_.end()) continue;
-    double total = 0;
-    for (const auto& [_, c] : ctx_it->second) total += c;
-    auto next_it = ctx_it->second.find(next);
-    double count =
-        (next_it == ctx_it->second.end()) ? 0.0 : static_cast<double>(next_it->second);
     p += remaining * OrderWeight(len + 1, order_) * count / total;
   }
   return std::log(p);
@@ -97,10 +114,13 @@ double NgramLm::TokenLogProb(const std::vector<std::string>& tokens,
 double NgramLm::AvgLogProb(std::string_view text) const {
   std::vector<std::string> tokens = CodeTokens(text);
   if (tokens.empty()) return 0.0;
-  std::vector<std::string> padded;
-  padded.reserve(tokens.size() + order_ - 1);
-  for (int i = 0; i < order_ - 1; ++i) padded.emplace_back(kBos);
-  for (auto& t : tokens) padded.push_back(std::move(t));
+  // Lookup-only id mapping: scoring must never intern (it runs concurrently
+  // and unseen tokens must stay out of the vocabulary).
+  std::vector<uint32_t> padded;
+  padded.reserve(tokens.size() + static_cast<size_t>(order_ - 1));
+  const uint32_t bos = vocab_.Find(kBos);
+  for (int i = 0; i < order_ - 1; ++i) padded.push_back(bos);
+  for (const auto& t : tokens) padded.push_back(vocab_.Find(t));
 
   double total = 0;
   size_t n = 0;

@@ -4,8 +4,9 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
+
+#include "common/flat_hash.h"
 
 namespace codes {
 
@@ -20,6 +21,25 @@ namespace codes {
 ///
 /// Probabilities interpolate all orders (Jelinek-Mercer style) with a
 /// uniform-vocabulary floor, so unseen tokens never zero out a sequence.
+///
+/// Hot-path layout (the speed-campaign rewrite; DESIGN.md section 13).
+/// The original stored nested string-keyed maps — every probe joined
+/// context tokens into a heap string, hashed it, then hashed the next
+/// token in an inner map. Now:
+///  * tokens intern to dense uint32 ids in an arena-backed dictionary;
+///  * a context is a node id in a trie keyed by the packed 64-bit pair
+///    (parent context id << 32 | prepended token id), so extending a
+///    context while scoring is one flat-hash probe, no string build;
+///  * all (context, next) counts live in one open-addressing flat hash
+///    keyed by (context id << 32 | next token id), with per-context
+///    totals stored at train time instead of being re-summed per probe.
+/// Probabilities are byte-identical to the pinned ReferenceNgramLm
+/// (tests/speed_equivalence_test.cc): counts are exact integers, and the
+/// interpolation arithmetic runs in the same order as before.
+///
+/// Thread-safety: Train must not race with scoring; concurrent AvgLogProb/
+/// Perplexity calls on a trained model are safe (scoring never mutates —
+/// unseen query tokens are looked up, not interned).
 class NgramLm {
  public:
   explicit NgramLm(int order);
@@ -40,22 +60,38 @@ class NgramLm {
   double Perplexity(const std::vector<std::string>& documents) const;
 
   /// Number of distinct unigrams seen.
-  size_t VocabSize() const { return unigram_counts_.size(); }
+  size_t VocabSize() const { return distinct_unigrams_; }
 
   /// Total tokens consumed by Train (across epochs).
   uint64_t TokensTrained() const { return total_tokens_; }
 
  private:
-  double TokenLogProb(const std::vector<std::string>& tokens, size_t i) const;
+  /// Log probability of token `i` of the padded, id-mapped sequence.
+  /// `ids[j] == StringInterner::kNpos` marks a token outside the trained
+  /// vocabulary.
+  double TokenLogProb(const std::vector<uint32_t>& ids, size_t i) const;
+
+  /// Packs a trie/count key from a context id and a token id.
+  static uint64_t PackKey(uint32_t ctx, uint32_t token) {
+    return (static_cast<uint64_t>(ctx) << 32) | token;
+  }
 
   int order_;
   uint64_t total_tokens_ = 0;
-  // context ("a b") -> (next token -> count); contexts of every length
-  // from 1..order-1 tokens are stored, keyed by joined text.
-  std::unordered_map<std::string, std::unordered_map<std::string, uint32_t>>
-      context_counts_;
-  std::unordered_map<std::string, uint32_t> unigram_counts_;
+  StringInterner vocab_;
+  /// Per token id. BOS appears only in context positions, so its entry
+  /// stays 0 and distinct_unigrams_ (not vocab_.size()) is the vocabulary.
+  std::vector<uint64_t> unigram_count_;
+  size_t distinct_unigrams_ = 0;
   uint64_t unigram_total_ = 0;
+  /// Context trie: (parent ctx, prepended token) -> ctx id. Id 0 is the
+  /// empty root; real contexts start at 1.
+  FlatHash64<uint32_t> ctx_ids_;
+  /// Per context id: sum of all next-token counts (the denominator the
+  /// reference implementation re-summed on every probe).
+  std::vector<uint64_t> ctx_total_;
+  /// (ctx id, next token id) -> count.
+  FlatHash64<uint32_t> counts_;
 };
 
 }  // namespace codes

@@ -1,0 +1,125 @@
+#include "lm/ngram_reference.h"
+
+#include <cmath>
+
+#include "common/status.h"
+#include "text/tokenize.h"
+
+namespace codes {
+
+namespace {
+
+constexpr char kBos[] = "<s>";
+
+/// Interpolation weight of order k — must stay identical to the production
+/// NgramLm's weight for the equivalence suite to pin anything meaningful.
+double OrderWeight(int k, int max_order) {
+  return std::pow(2.0, k - 1) / (std::pow(2.0, max_order) - 1.0);
+}
+
+}  // namespace
+
+ReferenceNgramLm::ReferenceNgramLm(int order) : order_(order) {
+  CODES_CHECK(order >= 1);
+}
+
+void ReferenceNgramLm::Train(const std::vector<std::string>& documents,
+                             int epochs) {
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    for (const auto& doc : documents) {
+      std::vector<std::string> tokens = CodeTokens(doc);
+      if (tokens.empty()) continue;
+      std::vector<std::string> padded;
+      padded.reserve(tokens.size() + order_ - 1);
+      for (int i = 0; i < order_ - 1; ++i) padded.push_back(kBos);
+      for (auto& t : tokens) padded.push_back(std::move(t));
+
+      for (size_t i = static_cast<size_t>(order_ - 1); i < padded.size();
+           ++i) {
+        const std::string& next = padded[i];
+        unigram_counts_[next] += 1;
+        ++unigram_total_;
+        ++total_tokens_;
+        std::string context;
+        for (int len = 1; len < order_; ++len) {
+          const std::string& tok = padded[i - static_cast<size_t>(len)];
+          if (len == 1) {
+            context = tok;
+          } else {
+            context = tok + " " + context;
+          }
+          context_counts_[context][next] += 1;
+        }
+      }
+    }
+  }
+}
+
+double ReferenceNgramLm::TokenLogProb(const std::vector<std::string>& tokens,
+                                      size_t i) const {
+  const std::string& next = tokens[i];
+  double vocab = static_cast<double>(unigram_counts_.size()) + 1000.0;
+  double p = 0.05 / vocab;
+
+  double remaining = 0.95;
+  double unigram_weight = remaining * OrderWeight(1, order_);
+  if (unigram_total_ > 0) {
+    auto it = unigram_counts_.find(next);
+    double count = (it == unigram_counts_.end())
+                       ? 0.0
+                       : static_cast<double>(it->second);
+    p += unigram_weight * count / static_cast<double>(unigram_total_);
+  }
+  std::string context;
+  for (int len = 1; len < order_; ++len) {
+    const std::string& tok = tokens[i - static_cast<size_t>(len)];
+    if (len == 1) {
+      context = tok;
+    } else {
+      context = tok + " " + context;
+    }
+    auto ctx_it = context_counts_.find(context);
+    if (ctx_it == context_counts_.end()) continue;
+    double total = 0;
+    for (const auto& [_, c] : ctx_it->second) total += c;
+    auto next_it = ctx_it->second.find(next);
+    double count = (next_it == ctx_it->second.end())
+                       ? 0.0
+                       : static_cast<double>(next_it->second);
+    p += remaining * OrderWeight(len + 1, order_) * count / total;
+  }
+  return std::log(p);
+}
+
+double ReferenceNgramLm::AvgLogProb(std::string_view text) const {
+  std::vector<std::string> tokens = CodeTokens(text);
+  if (tokens.empty()) return 0.0;
+  std::vector<std::string> padded;
+  padded.reserve(tokens.size() + order_ - 1);
+  for (int i = 0; i < order_ - 1; ++i) padded.emplace_back(kBos);
+  for (auto& t : tokens) padded.push_back(std::move(t));
+
+  double total = 0;
+  size_t n = 0;
+  for (size_t i = static_cast<size_t>(order_ - 1); i < padded.size(); ++i) {
+    total += TokenLogProb(padded, i);
+    ++n;
+  }
+  return n > 0 ? total / static_cast<double>(n) : 0.0;
+}
+
+double ReferenceNgramLm::Perplexity(
+    const std::vector<std::string>& documents) const {
+  double total_log_prob = 0;
+  uint64_t total_tokens = 0;
+  for (const auto& doc : documents) {
+    std::vector<std::string> tokens = CodeTokens(doc);
+    if (tokens.empty()) continue;
+    total_log_prob += AvgLogProb(doc) * static_cast<double>(tokens.size());
+    total_tokens += tokens.size();
+  }
+  if (total_tokens == 0) return 1.0;
+  return std::exp(-total_log_prob / static_cast<double>(total_tokens));
+}
+
+}  // namespace codes

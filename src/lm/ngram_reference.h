@@ -1,0 +1,51 @@
+#ifndef CODES_LM_NGRAM_REFERENCE_H_
+#define CODES_LM_NGRAM_REFERENCE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace codes {
+
+/// The pre-speed-campaign NgramLm implementation, pinned: nested
+/// string-keyed maps (context text -> next token -> count) with per-probe
+/// context string joins and denominator re-summation. It exists for two
+/// callers only:
+///
+///  * tests/speed_equivalence_test.cc proves NgramLm returns byte-identical
+///    probabilities (AvgLogProb/Perplexity doubles) after identical
+///    training, including incremental continued pre-training;
+///  * bench_latency's hot-path section reports the before/after n-gram
+///    probing speedup that BENCH_latency.json commits.
+///
+/// Not for serving use: every scored token joins up to order-1 context
+/// strings on the heap and walks two hash maps per interpolation level.
+class ReferenceNgramLm {
+ public:
+  explicit ReferenceNgramLm(int order);
+
+  int order() const { return order_; }
+  void Train(const std::vector<std::string>& documents, int epochs = 1);
+  double AvgLogProb(std::string_view text) const;
+  double Perplexity(const std::vector<std::string>& documents) const;
+  size_t VocabSize() const { return unigram_counts_.size(); }
+  uint64_t TokensTrained() const { return total_tokens_; }
+
+ private:
+  double TokenLogProb(const std::vector<std::string>& tokens, size_t i) const;
+
+  int order_;
+  uint64_t total_tokens_ = 0;
+  // context ("a b") -> (next token -> count); contexts of every length
+  // from 1..order-1 tokens are stored, keyed by joined text.
+  std::unordered_map<std::string, std::unordered_map<std::string, uint32_t>>
+      context_counts_;
+  std::unordered_map<std::string, uint32_t> unigram_counts_;
+  uint64_t unigram_total_ = 0;
+};
+
+}  // namespace codes
+
+#endif  // CODES_LM_NGRAM_REFERENCE_H_

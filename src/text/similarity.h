@@ -9,8 +9,23 @@ namespace codes {
 
 /// Length of the longest common substring of `a` and `b` (case-insensitive).
 /// This is the fine-grained matcher of the paper's coarse-to-fine value
-/// retriever (Section 6.2); complexity O(|a|*|b|).
+/// retriever (Section 6.2).
+///
+/// Implementation: a word-packed bit-parallel level sweep (Myers-style
+/// match masks) behind a character-class prefilter, so the per-query LCS
+/// re-rank costs O(|short| * ceil(|long|/64) * (answer+1)) word ops
+/// instead of the classic O(|a|*|b|) cell DP. Byte-identical to
+/// LongestCommonSubstringLengthReferenceDp on every input (pinned by
+/// tests/speed_equivalence_test.cc, including UTF-8/accented/CJK bytes).
 int LongestCommonSubstringLength(std::string_view a, std::string_view b);
+
+/// The classic O(|a|*|b|) rolling-row DP. Pinned reference for the
+/// bit-parallel implementation: equivalence tests compare against it, the
+/// bench_latency hot-path section reports the before/after speedup, and
+/// the CI perf gate's injected-slowdown leg routes the hot path through it
+/// (CODES_PERF_INJECT=lcs2x) to prove the regression gate fires.
+int LongestCommonSubstringLengthReferenceDp(std::string_view a,
+                                            std::string_view b);
 
 /// Longest common substring normalized by the length of the shorter string,
 /// in [0,1]. Returns 0 when either string is empty.

@@ -141,9 +141,10 @@ TEST(Bm25Test, CharTrigramsEnablePartialMatch) {
 
 TEST(Bm25Test, IncrementalAddScoresLikeFreshBuild) {
   // Regression: documents added after Finalize() used to score with stale
-  // (or missing) idf tables. The index now re-finalizes lazily on the
-  // first Query after a mutation, so an incremental add must be
-  // indistinguishable from building the whole index from scratch.
+  // (or missing) idf tables. The contract is now eager: the batch that
+  // mutates the index calls Finalize() before anyone queries, and an
+  // incremental add + re-finalize must be indistinguishable from building
+  // the whole index from scratch.
   const std::vector<std::string> initial = {"Jesenik", "Prague",
                                             "Sarah Martinez", "road losses"};
   const std::vector<std::string> added = {"Jesenik branch office",
@@ -153,9 +154,10 @@ TEST(Bm25Test, IncrementalAddScoresLikeFreshBuild) {
   Bm25Index incremental;
   for (const auto& doc : initial) incremental.AddDocument(doc);
   incremental.Finalize();
-  // A query between mutations must not pin the stale idf tables.
+  // A query between batches must not pin the stale idf tables.
   (void)incremental.Query(question, 3);
   for (const auto& doc : added) incremental.AddDocument(doc);
+  incremental.Finalize();
   auto incremental_hits = incremental.Query(question, 10);
 
   Bm25Index fresh;
@@ -174,12 +176,16 @@ TEST(Bm25Test, IncrementalAddScoresLikeFreshBuild) {
             "Jesenik branch office");
 }
 
-TEST(Bm25Test, QueryBeforeFinalizeIsImplicitlyFinalized) {
+TEST(Bm25IndexDeathTest, QueryBeforeFinalizeAborts) {
+  // The eager contract: scoring an unfinalized index is a caller bug, not
+  // something the hot path papers over with a lazy re-finalize branch.
   Bm25Index index;
   index.AddDocument("alpha beta");
   index.AddDocument("gamma delta");
-  // No explicit Finalize(): the first Query must lazily finalize rather
-  // than abort (the old contract CODES_CHECK-failed here).
+  EXPECT_FALSE(index.finalized());
+  EXPECT_DEATH((void)index.Query("alpha", 2), "finalized");
+  index.Finalize();
+  EXPECT_TRUE(index.finalized());
   auto hits = index.Query("alpha", 2);
   ASSERT_FALSE(hits.empty());
   EXPECT_EQ(index.DocumentText(hits[0].doc_id), "alpha beta");
