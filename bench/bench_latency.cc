@@ -34,6 +34,10 @@
 #include "lm/ngram_reference.h"
 #include "serve/front_end.h"
 #include "serve/load_gen.h"
+#include "sqlengine/database.h"
+#include "sqlengine/executor.h"
+#include "sqlengine/parser.h"
+#include "storage/storage_db.h"
 #include "text/similarity.h"
 
 namespace codes {
@@ -199,6 +203,105 @@ void HotPathSection(bench::PerfReport* report, bool quick) {
       "\nboth columns run in this binary on identical workloads; the "
       "equivalence suite pins byte-identical outputs, so the ratio is a "
       "pure data-structure win.\n");
+}
+
+/// Index-scan vs sequential-scan access path on the disk-backed storage
+/// engine: the SAME StorageDb, the SAME parsed statements, with only the
+/// index knob toggled — so the ratio isolates what the B+ tree access path
+/// buys on a selective predicate over 100k rows. The differential suite
+/// pins both paths byte-identical; this section reports the speed.
+void StorageAccessPathSection(bench::PerfReport* report, bool quick) {
+  bench::Banner(
+      "Storage access paths: index scan vs sequential scan (100k rows)");
+
+  // Row count is identical in both profiles: the gated metric is a ratio,
+  // and shrinking the table would change the claim, not just the runtime.
+  constexpr int kRows = 100'000;
+  sql::DatabaseSchema schema;
+  schema.name = "bench_storage";
+  sql::TableDef items;
+  items.name = "items";
+  items.columns = {
+      {"id", sql::DataType::kInteger, "row id", true},
+      {"grp", sql::DataType::kInteger, "bucket", false},
+      {"payload", sql::DataType::kText, "ballast", false},
+  };
+  schema.tables = {items};
+  sql::Database db(std::move(schema));
+  for (int i = 0; i < kRows; ++i) {
+    CODES_CHECK(db.Insert("items",
+                          {sql::Value(static_cast<int64_t>(i)),
+                           sql::Value(static_cast<int64_t>(i % 997)),
+                           sql::Value("payload-" + std::to_string(i))})
+                    .ok());
+  }
+  auto built = storage::StorageDb::CreateInMemoryFrom(db, /*pool_frames=*/256);
+  CODES_CHECK(built.ok());
+  storage::StorageDb& sdb = **built;
+
+  // Pre-parsed selective range probes (50 of 100k rows each, well under
+  // the planner's selectivity cutoff), spread across the key space so no
+  // single hot leaf serves every query.
+  std::vector<std::unique_ptr<sql::SelectStatement>> stmts;
+  for (int q = 0; q < 16; ++q) {
+    int lo = (q * 6151) % (kRows - 60);
+    auto parsed = sql::ParseSql(
+        "SELECT payload FROM items WHERE id BETWEEN " + std::to_string(lo) +
+        " AND " + std::to_string(lo + 49));
+    CODES_CHECK(parsed.ok());
+    stmts.push_back(std::move(*parsed));
+  }
+  sql::Executor exec(sdb);
+  const int reps = quick ? 2 : 6;
+  size_t result_rows = 0;
+  auto run_paths = [&](bool indexed) {
+    sdb.set_index_scans_enabled(indexed);
+    Timer timer;
+    for (int r = 0; r < reps; ++r) {
+      for (const auto& stmt : stmts) {
+        auto result = exec.Execute(*stmt);
+        CODES_CHECK(result.ok());
+        result_rows += result->NumRows();
+      }
+    }
+    return timer.ElapsedSeconds();
+  };
+  auto best_of = [](auto&& fn, int n) {
+    double best = fn();
+    for (int r = 1; r < n; ++r) best = std::min(best, fn());
+    return best;
+  };
+
+  // Confirm the planner actually takes the index path when allowed — a
+  // silent fallback to seq scan would turn this section into noise.
+  MetricsRegistry::SetEnabled(true);
+  MetricsRegistry::Global().Reset();
+  (void)run_paths(true);
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  CODES_CHECK(snap.counters["storage.path.index_scan"] > 0);
+
+  const int timing_reps = 3;
+  double seq_seconds = best_of([&] { return run_paths(false); }, timing_reps);
+  double idx_seconds = best_of([&] { return run_paths(true); }, timing_reps);
+  const double per_query = static_cast<double>(reps) * stmts.size();
+  double seq_us = 1e6 * seq_seconds / per_query;
+  double idx_us = 1e6 * idx_seconds / per_query;
+  if (result_rows == 0) std::printf(" ");  // keep the loops observable
+
+  bench::TablePrinter table({26, 14, 14});
+  table.Row({"access path", "us / query", "rows touched"});
+  table.Separator();
+  table.Row({"sequential scan", FormatDouble(seq_us, 1),
+             std::to_string(kRows)});
+  table.Row({"B+ tree index scan", FormatDouble(idx_us, 1), "~50"});
+  std::printf("\nindex-path speedup: %.1fx (gate: >= 5x; both paths return "
+              "byte-identical rows)\n",
+              seq_us / idx_us);
+  // Absolute per-query times depend on machine memory speed: noisy. The
+  // ratio is the architectural claim and gates.
+  report->AddNoisy("storage_seq_scan_us", seq_us);
+  report->AddNoisy("storage_index_scan_us", idx_us);
+  report->Add("storage_index_speedup_x", seq_us / idx_us);
 }
 
 /// Queries/sec of the parallel evaluator at several thread counts; EX must
@@ -616,6 +719,7 @@ void AdmissionOverheadSection(const Text2SqlBenchmark& bench,
 
 void Run(bench::PerfReport* report, bool quick) {
   HotPathSection(report, quick);
+  StorageAccessPathSection(report, quick);
 
   bench::Banner("Table 1: model capacity profiles");
   bench::TablePrinter arch({12, 8, 8, 8, 8, 8, 8, 8});

@@ -13,7 +13,8 @@ namespace {
 
 constexpr const char* kSiteNames[kNumFailpointSites] = {
     "classifier.score", "value_retriever.build_index", "bm25.lookup",
-    "executor.step",    "lm.decode",
+    "executor.step",    "lm.decode",                   "storage.page_read",
+    "storage.evict",    "storage.split",
 };
 
 /// Registry state. Specs are written only during configure-then-run setup;

@@ -16,6 +16,9 @@ namespace codes {
 ///   bm25.lookup                  coarse BM25 candidate lookup
 ///   executor.step                SQL executor row production
 ///   lm.decode                    LM decoding of one beam candidate
+///   storage.page_read            disk page read into the buffer pool
+///   storage.evict                dirty-page write-back during eviction
+///   storage.split                B+ tree node split
 ///
 /// Sites are compiled in unconditionally; when no failpoint is configured
 /// the per-site check is one relaxed atomic load.
@@ -25,6 +28,9 @@ enum class FailpointSite : int {
   kBm25Lookup,
   kExecutorStep,
   kLmDecode,
+  kStoragePageRead,
+  kStorageEvict,
+  kStorageSplit,
   kNumSites,  // sentinel
 };
 

@@ -10,6 +10,7 @@
 #include "dataset/db_generator.h"
 #include "dataset/domains.h"
 #include "sqlengine/parser.h"
+#include "storage/storage_db.h"
 
 namespace codes::fuzz {
 
@@ -56,11 +57,26 @@ namespace {
 /// True when `stmt` still trips the same oracle with the same seed.
 bool StillFails(const sql::Database& db, const QueryGenerator& gen,
                 const SelectStatement& stmt, uint64_t oracle_seed,
-                OracleId oracle) {
-  for (const auto& v : RunOracles(db, gen, stmt, oracle_seed)) {
+                OracleId oracle, const sql::ExecSource* storage) {
+  for (const auto& v : RunOracles(db, gen, stmt, oracle_seed, storage)) {
     if (v.oracle == oracle) return true;
   }
   return false;
+}
+
+/// Disk-backed twins of the campaign's database pool, built once before
+/// the parallel phase (read-only afterwards, so sharing across query
+/// shards is safe). A build failure leaves a null slot, which simply
+/// disables the storagediff oracle for that database.
+std::vector<std::unique_ptr<storage::StorageDb>> BuildStorageTwins(
+    const std::vector<sql::Database>& dbs) {
+  std::vector<std::unique_ptr<storage::StorageDb>> twins;
+  twins.reserve(dbs.size());
+  for (const auto& db : dbs) {
+    auto built = storage::StorageDb::CreateInMemoryFrom(db);
+    twins.push_back(built.ok() ? std::move(*built) : nullptr);
+  }
+  return twins;
 }
 
 /// One-step simplifications of `stmt`, roughly largest-deletion first.
@@ -141,14 +157,15 @@ std::unique_ptr<SelectStatement> ShrinkFailure(const sql::Database& db,
                                                const QueryGenerator& gen,
                                                const SelectStatement& stmt,
                                                uint64_t oracle_seed,
-                                               OracleId oracle, int budget) {
+                                               OracleId oracle, int budget,
+                                               const sql::ExecSource* storage) {
   auto current = stmt.Clone();
   bool improved = true;
   while (improved && budget > 0) {
     improved = false;
     for (auto& candidate : ShrinkCandidates(*current)) {
       if (--budget < 0) break;
-      if (StillFails(db, gen, *candidate, oracle_seed, oracle)) {
+      if (StillFails(db, gen, *candidate, oracle_seed, oracle, storage)) {
         current = std::move(candidate);
         improved = true;
         break;  // restart from the smaller statement
@@ -168,6 +185,12 @@ FuzzReport RunFuzzCampaign(const FuzzConfig& config, ThreadPool* pool) {
   std::vector<QueryGenerator> gens;
   gens.reserve(dbs.size());
   for (const auto& db : dbs) gens.emplace_back(db, config.gen);
+  std::vector<std::unique_ptr<storage::StorageDb>> twins;
+  if (config.storage_diff) twins = BuildStorageTwins(dbs);
+  auto twin_of = [&twins](int db_index) -> const sql::ExecSource* {
+    if (twins.empty()) return nullptr;
+    return twins[static_cast<size_t>(db_index)].get();
+  };
 
   // Each query derives everything from base_seed + i and writes into its
   // own slot, so the merged report is independent of sharding.
@@ -180,7 +203,8 @@ FuzzReport RunFuzzCampaign(const FuzzConfig& config, ThreadPool* pool) {
     uint64_t oracle_seed = rng.Next();
     auto violations =
         RunOracles(dbs[static_cast<size_t>(db_index)],
-                   gens[static_cast<size_t>(db_index)], *stmt, oracle_seed);
+                   gens[static_cast<size_t>(db_index)], *stmt, oracle_seed,
+                   twin_of(db_index));
     if (violations.empty()) return;
     auto failure = std::make_unique<FuzzFailure>();
     failure->query_index = i;
@@ -212,7 +236,7 @@ FuzzReport RunFuzzCampaign(const FuzzConfig& config, ThreadPool* pool) {
       auto shrunk = ShrinkFailure(dbs[static_cast<size_t>(db_index)],
                                   gens[static_cast<size_t>(db_index)], *stmt,
                                   oracle_seed, slot->oracle,
-                                  config.shrink_budget);
+                                  config.shrink_budget, twin_of(db_index));
       std::string shrunk_sql = shrunk->ToSql();
       if (shrunk_sql != slot->sql) slot->shrunk_sql = std::move(shrunk_sql);
     }
@@ -278,7 +302,10 @@ Result<std::vector<OracleViolation>> ReplayCorpusEntry(
   }
   const sql::Database& db = dbs[static_cast<size_t>(entry.db_index)];
   QueryGenerator gen(db);
-  return RunOracles(db, gen, **parsed, entry.seed);
+  std::unique_ptr<storage::StorageDb> twin;
+  auto built = storage::StorageDb::CreateInMemoryFrom(db);
+  if (built.ok()) twin = std::move(*built);
+  return RunOracles(db, gen, **parsed, entry.seed, twin.get());
 }
 
 }  // namespace codes::fuzz

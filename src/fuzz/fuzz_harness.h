@@ -24,6 +24,10 @@ struct FuzzConfig {
   int num_databases = 8;
   bool shrink = true;        ///< minimize failing queries by AST deletion
   int shrink_budget = 200;   ///< max oracle re-evaluations per failure
+  /// Run every query against a disk-backed StorageDb copy of its database
+  /// as well and diff the two executions (the storagediff oracle). The
+  /// copies are built once per campaign, before the parallel phase.
+  bool storage_diff = true;
   GenOptions gen;
 };
 
@@ -67,10 +71,12 @@ FuzzReport RunFuzzCampaign(const FuzzConfig& config, ThreadPool* pool);
 /// Minimizes `stmt` by clause/subtree deletion while it still trips
 /// `oracle` (with the same oracle seed). Returns the smallest failing
 /// statement found within `budget` oracle evaluations.
+/// `storage` (may be null) is the disk-backed twin of `db`, forwarded to
+/// RunOracles so storagediff failures keep reproducing while shrinking.
 std::unique_ptr<sql::SelectStatement> ShrinkFailure(
     const sql::Database& db, const QueryGenerator& gen,
     const sql::SelectStatement& stmt, uint64_t oracle_seed, OracleId oracle,
-    int budget);
+    int budget, const sql::ExecSource* storage = nullptr);
 
 /// One line of a seed-corpus file. Format (one entry per line, '#' or
 /// blank lines skipped):
@@ -88,8 +94,10 @@ struct CorpusEntry {
 Result<std::vector<CorpusEntry>> LoadCorpusFile(const std::string& path);
 
 /// Replays one corpus entry: parses its SQL and runs every oracle against
-/// the given database. Returns the violations (empty = clean) or an error
-/// when the SQL no longer parses / the database index is out of range.
+/// the given database — including the storagediff oracle, against a
+/// freshly built disk-backed copy. Returns the violations (empty = clean)
+/// or an error when the SQL no longer parses / the database index is out
+/// of range.
 Result<std::vector<OracleViolation>> ReplayCorpusEntry(
     const std::vector<sql::Database>& dbs, const CorpusEntry& entry);
 

@@ -30,6 +30,7 @@ const char* OracleName(OracleId id) {
     case OracleId::kTlp: return "tlp";
     case OracleId::kNoRec: return "norec";
     case OracleId::kOrderLimit: return "orderlimit";
+    case OracleId::kStorageDiff: return "storagediff";
   }
   return "unknown";
 }
@@ -279,6 +280,47 @@ void CheckOrderLimit(const Executor& exec, const SelectStatement& stmt,
   }
 }
 
+/// Differential backend check: byte-identical results (or identical error
+/// statuses) between the in-memory execution and the disk-backed one. The
+/// disk backend may pick an index-scan access path, so this is what pins
+/// access-path equivalence.
+void CheckStorageDiff(const sql::ExecSource& storage,
+                      const SelectStatement& stmt,
+                      const Result<ResultTable>& base,
+                      std::vector<OracleViolation>* out) {
+  Executor disk_exec(storage);
+  auto disk = disk_exec.Execute(stmt);
+  if (base.ok() != disk.ok()) {
+    out->push_back({OracleId::kStorageDiff,
+                    std::string("backends disagree on outcome: memory=") +
+                        (base.ok() ? "ok" : base.status().ToString()) +
+                        " disk=" +
+                        (disk.ok() ? "ok" : disk.status().ToString())});
+    return;
+  }
+  if (!base.ok()) {
+    if (base.status().code() != disk.status().code() ||
+        base.status().message() != disk.status().message()) {
+      out->push_back({OracleId::kStorageDiff,
+                      "backends fail differently: memory=" +
+                          base.status().ToString() +
+                          " disk=" + disk.status().ToString()});
+    }
+    return;
+  }
+  if (base->column_names != disk->column_names) {
+    out->push_back({OracleId::kStorageDiff,
+                    "column names differ between backends"});
+    return;
+  }
+  if (!TableExact(*base, *disk)) {
+    out->push_back({OracleId::kStorageDiff,
+                    "disk-backed result differs (" +
+                        std::to_string(base->NumRows()) + " vs " +
+                        std::to_string(disk->NumRows()) + " rows)"});
+  }
+}
+
 }  // namespace
 
 bool PartitionOraclesApplicable(const SelectStatement& stmt) {
@@ -295,11 +337,15 @@ bool PartitionOraclesApplicable(const SelectStatement& stmt) {
 std::vector<OracleViolation> RunOracles(const sql::Database& db,
                                         const QueryGenerator& gen,
                                         const SelectStatement& stmt,
-                                        uint64_t oracle_seed) {
+                                        uint64_t oracle_seed,
+                                        const sql::ExecSource* storage) {
   std::vector<OracleViolation> out;
   Executor exec(db);
 
   auto base = exec.Execute(stmt);
+  // The differential oracle runs even for failing statements: the two
+  // backends must agree on the error, not just on result bytes.
+  if (storage != nullptr) CheckStorageDiff(*storage, stmt, base, &out);
   if (!base.ok()) {
     out.push_back({OracleId::kExec,
                    "execution failed: " + base.status().ToString()});

@@ -33,10 +33,24 @@ namespace codes::fuzz {
 ///  * kOrderLimit — ORDER BY output must be sorted on its keys and a
 ///                  LIMIT k result must be the exact k-prefix of the
 ///                  unlimited result.
-enum class OracleId { kExec, kRoundTrip, kRerun, kTlp, kNoRec, kOrderLimit };
+///  * kStorageDiff — differential backend check: the same statement run
+///                  against a disk-backed storage::StorageDb copy of the
+///                  database must be byte-identical to the in-memory
+///                  execution (same result cells, same column names, or
+///                  the same error status). Exercises the index-scan
+///                  access path the in-memory backend never takes.
+enum class OracleId {
+  kExec,
+  kRoundTrip,
+  kRerun,
+  kTlp,
+  kNoRec,
+  kOrderLimit,
+  kStorageDiff,
+};
 
 /// Stable lowercase name ("exec", "roundtrip", "rerun", "tlp", "norec",
-/// "orderlimit") used in reproducer lines and corpus files.
+/// "orderlimit", "storagediff") used in reproducer lines and corpus files.
 const char* OracleName(OracleId id);
 
 /// One oracle violation for one query.
@@ -54,10 +68,17 @@ bool PartitionOraclesApplicable(const sql::SelectStatement& stmt);
 /// Runs every applicable oracle against `stmt` on `db`. `oracle_seed`
 /// drives the TLP partition predicate via `gen`, so a (query, seed) pair
 /// fully determines the outcome. Returns all violations (empty = clean).
+///
+/// When `storage` is non-null it must be a second backend holding the same
+/// logical content as `db` (typically a storage::StorageDb built from it);
+/// the kStorageDiff oracle then compares the two executions. Null skips
+/// that oracle.
 std::vector<OracleViolation> RunOracles(const sql::Database& db,
                                         const QueryGenerator& gen,
                                         const sql::SelectStatement& stmt,
-                                        uint64_t oracle_seed);
+                                        uint64_t oracle_seed,
+                                        const sql::ExecSource* storage =
+                                            nullptr);
 
 }  // namespace codes::fuzz
 

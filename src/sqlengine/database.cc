@@ -1,9 +1,32 @@
 #include "sqlengine/database.h"
 
 namespace codes::sql {
+namespace {
+
+// Cursor over an in-memory table's row vector, in insertion order.
+class VectorCursor final : public RowCursor {
+ public:
+  explicit VectorCursor(const std::vector<Row>* rows) : rows_(rows) {}
+
+  bool Next(Row* out) override {
+    if (pos_ >= rows_->size()) return false;
+    *out = (*rows_)[pos_++];
+    return true;
+  }
+
+ private:
+  const std::vector<Row>* rows_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
 
 Database::Database(DatabaseSchema schema) : schema_(std::move(schema)) {
   tables_.resize(schema_.tables.size());
+}
+
+std::unique_ptr<RowCursor> Database::Scan(int table_index) const {
+  return std::make_unique<VectorCursor>(&tables_[table_index].rows);
 }
 
 Status Database::Insert(const std::string& table_name,

@@ -1,11 +1,13 @@
 #ifndef CODES_SQLENGINE_DATABASE_H_
 #define CODES_SQLENGINE_DATABASE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "sqlengine/catalog.h"
+#include "sqlengine/exec_source.h"
 #include "sqlengine/value.h"
 
 namespace codes::sql {
@@ -17,14 +19,25 @@ struct Table {
 
 /// A fully materialized in-memory database: schema + table contents.
 /// This is the engine's unit of execution and the paper's `D` in
-/// S = Parser(Q, D).
-class Database {
+/// S = Parser(Q, D). As an ExecSource it is the reference backend the
+/// disk-backed storage engine is differentially tested against.
+class Database : public ExecSource {
  public:
   Database() = default;
   explicit Database(DatabaseSchema schema);
 
-  const DatabaseSchema& schema() const { return schema_; }
+  const DatabaseSchema& schema() const override { return schema_; }
   DatabaseSchema& mutable_schema() { return schema_; }
+
+  // ExecSource access paths: everything is already materialized, so the
+  // direct row vector doubles as the scan and no indexes exist.
+  size_t SourceRowCount(int table_index) const override {
+    return tables_[table_index].rows.size();
+  }
+  std::unique_ptr<RowCursor> Scan(int table_index) const override;
+  const std::vector<Row>* DirectRows(int table_index) const override {
+    return &tables_[table_index].rows;
+  }
 
   /// Appends a row to `table_name`; fails if the table is unknown or the
   /// arity does not match the schema.

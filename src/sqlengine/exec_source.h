@@ -1,0 +1,118 @@
+#ifndef CODES_SQLENGINE_EXEC_SOURCE_H_
+#define CODES_SQLENGINE_EXEC_SOURCE_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "sqlengine/catalog.h"
+#include "sqlengine/value.h"
+
+namespace codes::sql {
+
+/// A materialized working row (one value per flat column).
+using Row = std::vector<Value>;
+
+/// Volcano-style forward cursor over the rows of one table. Cursors are
+/// single-pass, not thread-safe, and must not outlive the ExecSource that
+/// produced them.
+class RowCursor {
+ public:
+  virtual ~RowCursor() = default;
+
+  /// Produces the next row into `*out` (overwriting it) and returns true,
+  /// or returns false at end of stream. Once false, stays false.
+  virtual bool Next(Row* out) = 0;
+
+  /// Terminal error channel: when Next() has returned false, a non-OK
+  /// status means the stream ended on an error (e.g. a failed page read)
+  /// rather than clean end-of-data. Callers must check it after draining.
+  virtual Status status() const { return Status::Ok(); }
+};
+
+/// Distribution summary of one indexed column, consumed by the executor's
+/// access-path cost rule.
+struct ColumnIndexStats {
+  /// How the column's non-NULL values relate to Value::Compare ordering.
+  /// Index scans are only order-equivalent to predicate evaluation when
+  /// every value is on one side of the numeric/text divide; kMixed columns
+  /// are never index-scanned.
+  enum class ValueClass { kEmpty, kNumeric, kText, kMixed };
+
+  ValueClass value_class = ValueClass::kEmpty;
+  size_t entries = 0;    ///< non-NULL values in the index
+  Value min_value;       ///< smallest key (unset when kEmpty)
+  Value max_value;       ///< largest key (unset when kEmpty)
+  bool unique = false;   ///< true for primary-key indexes
+};
+
+/// Inclusive/exclusive one-sided bound of an index range scan. A null
+/// `value` pointer means unbounded on that side.
+struct IndexBound {
+  const Value* value = nullptr;
+  bool inclusive = true;
+};
+
+/// The executor's view of a database backend: schema plus per-table row
+/// access paths. Two implementations exist — the fully materialized
+/// in-memory Database and the disk-backed storage::StorageDb — and the
+/// differential test harness pins that a statement executes byte-
+/// identically over either.
+///
+/// Order contract: Scan() yields rows in insertion order, and IndexScan()
+/// yields exactly the rows whose key falls in [lo, hi] under
+/// Value::Compare, in the SAME insertion order (not key order). That makes
+/// an index scan a pure prefilter: downstream plan stages see the same row
+/// sequence they would have seen from a full scan minus non-matching rows,
+/// which is what keeps the two backends bit-for-bit equivalent.
+class ExecSource {
+ public:
+  virtual ~ExecSource() = default;
+
+  virtual const DatabaseSchema& schema() const = 0;
+
+  /// Rows currently stored in table `table_index`.
+  virtual size_t SourceRowCount(int table_index) const = 0;
+
+  /// Sequential scan in insertion order.
+  virtual std::unique_ptr<RowCursor> Scan(int table_index) const = 0;
+
+  /// Zero-copy escape hatch: when the backend already holds the table as a
+  /// contiguous row vector (the in-memory Database), returns it so the
+  /// executor can keep its historical pointer-based join paths; nullptr
+  /// otherwise. Purely an optimization — semantics must match Scan().
+  virtual const std::vector<Row>* DirectRows(int table_index) const {
+    (void)table_index;
+    return nullptr;
+  }
+
+  /// Fills `*out` and returns true when (table, column) has a usable
+  /// range index. The default backend has none.
+  virtual bool IndexStats(int table_index, int column_index,
+                          ColumnIndexStats* out) const {
+    (void)table_index;
+    (void)column_index;
+    (void)out;
+    return false;
+  }
+
+  /// Index range scan over (table, column); see the order contract above.
+  /// Returns nullptr when no index exists (callers fall back to Scan).
+  /// NULL column values are never produced (SQL comparisons with NULL are
+  /// never true, so they cannot satisfy a sargable predicate).
+  virtual std::unique_ptr<RowCursor> IndexScan(int table_index,
+                                               int column_index,
+                                               const IndexBound& lo,
+                                               const IndexBound& hi) const {
+    (void)table_index;
+    (void)column_index;
+    (void)lo;
+    (void)hi;
+    return nullptr;
+  }
+};
+
+}  // namespace codes::sql
+
+#endif  // CODES_SQLENGINE_EXEC_SOURCE_H_

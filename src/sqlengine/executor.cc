@@ -7,7 +7,9 @@
 #include <vector>
 
 #include "common/failpoint.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
+#include "sqlengine/exec_source.h"
 #include "sqlengine/parser.h"
 
 namespace codes::sql {
@@ -35,11 +37,12 @@ struct ScopeEntry {
   int offset;           // flat offset of this table's first column
 };
 
-/// Name-resolution scope for a single SELECT.
+/// Name-resolution scope for a single SELECT. Works off the schema alone,
+/// so it is backend-independent.
 class Scope {
  public:
-  Status AddTable(const Database& db, const TableRef& ref) {
-    auto idx = db.schema().FindTable(ref.table);
+  Status AddTable(const DatabaseSchema& schema, const TableRef& ref) {
+    auto idx = schema.FindTable(ref.table);
     if (!idx.has_value()) {
       return Status::BindError("no such table: " + ref.table);
     }
@@ -52,7 +55,7 @@ class Scope {
     }
     entry.table_index = *idx;
     entry.offset = width_;
-    width_ += static_cast<int>(db.schema().tables[*idx].columns.size());
+    width_ += static_cast<int>(schema.tables[*idx].columns.size());
     entries_.push_back(std::move(entry));
     return Status::Ok();
   }
@@ -62,14 +65,15 @@ class Scope {
 
   /// Resolves [qualifier.]column to a flat index. Unqualified names must be
   /// unambiguous across bound tables.
-  Result<int> ResolveColumn(const Database& db, const std::string& qualifier,
+  Result<int> ResolveColumn(const DatabaseSchema& schema,
+                            const std::string& qualifier,
                             const std::string& column) const {
     std::string q = ToLower(qualifier);
     std::string c = ToLower(column);
     int found = -1;
     for (const auto& entry : entries_) {
       if (!q.empty() && entry.binding != q) continue;
-      const TableDef& def = db.schema().tables[entry.table_index];
+      const TableDef& def = schema.tables[entry.table_index];
       auto col = def.FindColumn(c);
       if (col.has_value()) {
         if (found >= 0) {
@@ -86,10 +90,10 @@ class Scope {
   }
 
   /// Column headers for the full working row (used to expand '*').
-  std::vector<std::string> AllColumnNames(const Database& db) const {
+  std::vector<std::string> AllColumnNames(const DatabaseSchema& schema) const {
     std::vector<std::string> names;
     for (const auto& entry : entries_) {
-      const TableDef& def = db.schema().tables[entry.table_index];
+      const TableDef& def = schema.tables[entry.table_index];
       for (const auto& col : def.columns) names.push_back(col.name);
     }
     return names;
@@ -99,8 +103,6 @@ class Scope {
   std::vector<ScopeEntry> entries_;
   int width_ = 0;
 };
-
-using Row = std::vector<Value>;
 
 /// Hash of a row of values, for hash joins and DISTINCT.
 struct RowHash {
@@ -125,9 +127,9 @@ struct RowEq {
 
 class SelectRunner {
  public:
-  SelectRunner(const Database& db, const SelectStatement& stmt,
+  SelectRunner(const ExecSource& source, const SelectStatement& stmt,
                ExecGuard* guard)
-      : db_(db), stmt_(stmt), guard_(guard) {}
+      : source_(source), stmt_(stmt), guard_(guard) {}
 
   Result<ResultTable> Run() {
     if (Failpoints::ShouldFail(FailpointSite::kExecutorStep)) {
@@ -174,9 +176,9 @@ class SelectRunner {
 
   // ---------------------------------------------------------------- setup
   Status BuildScope() {
-    CODES_RETURN_IF_ERROR(scope_.AddTable(db_, stmt_.from));
+    CODES_RETURN_IF_ERROR(scope_.AddTable(source_.schema(), stmt_.from));
     for (const auto& join : stmt_.joins) {
-      CODES_RETURN_IF_ERROR(scope_.AddTable(db_, join.table));
+      CODES_RETURN_IF_ERROR(scope_.AddTable(source_.schema(), join.table));
     }
     return Status::Ok();
   }
@@ -200,7 +202,7 @@ class SelectRunner {
     expanded_select_.clear();
     for (const auto& entry : scope_.entries()) {
       if (!qualifier.empty() && entry.binding != qualifier) continue;
-      const TableDef& def = db_.schema().tables[entry.table_index];
+      const TableDef& def = source_.schema().tables[entry.table_index];
       for (const auto& col : def.columns) {
         SelectItem item;
         item.expr = Expr::MakeColumn(entry.binding, col.name);
@@ -238,7 +240,7 @@ class SelectRunner {
       // Alias reference: unqualified name matching an alias and not a
       // resolvable column.
       if (e->kind == ExprKind::kColumnRef && e->table.empty()) {
-        auto direct = scope_.ResolveColumn(db_, "", e->column);
+        auto direct = scope_.ResolveColumn(source_.schema(), "", e->column);
         if (!direct.ok()) {
           for (const auto& item : select_list()) {
             if (!item.alias.empty() &&
@@ -269,8 +271,9 @@ class SelectRunner {
 
   Status ResolveExpr(const Expr& e) {
     if (e.kind == ExprKind::kColumnRef) {
-      CODES_ASSIGN_OR_RETURN(e.resolved_index,
-                             scope_.ResolveColumn(db_, e.table, e.column));
+      CODES_ASSIGN_OR_RETURN(
+          e.resolved_index,
+          scope_.ResolveColumn(source_.schema(), e.table, e.column));
       return Status::Ok();
     }
     if (e.kind == ExprKind::kInSubquery || e.kind == ExprKind::kScalarSubquery) {
@@ -307,29 +310,261 @@ class SelectRunner {
     return Status::Ok();
   }
 
+  // ------------------------------------------------ access-path selection
+  /// Cost rule: an index scan must not be estimated to touch more than
+  /// this fraction of the table, else a sequential scan wins (an index
+  /// scan pays a tree descent plus a RID sort on top of the row fetches).
+  static constexpr double kIndexScanMaxSelectivity = 0.25;
+
+  /// Equality on a non-unique index has no distinct-count statistic;
+  /// assume a selective point lookup (passes the cost gate).
+  static constexpr double kNonUniqueEqSelectivity = 0.1;
+
+  /// One sargable conjunct: `col op literal` / `col BETWEEN lit AND lit`
+  /// over a column of the first FROM table (flat offset 0).
+  struct Sarg {
+    int column = -1;
+    IndexBound lo;
+    IndexBound hi;
+    bool equality = false;
+  };
+
+  /// Flattens the top-level AND chain of the WHERE clause. WHERE true
+  /// implies every conjunct true, which is what lets any single conjunct
+  /// act as an index prefilter.
+  static void CollectConjuncts(const Expr* e, std::vector<const Expr*>* out) {
+    if (e == nullptr) return;
+    if (e->kind == ExprKind::kBinary && e->binary_op == BinaryOp::kAnd) {
+      CollectConjuncts(e->children[0].get(), out);
+      CollectConjuncts(e->children[1].get(), out);
+      return;
+    }
+    out->push_back(e);
+  }
+
+  static BinaryOp MirrorComparison(BinaryOp op) {
+    switch (op) {
+      case BinaryOp::kLt: return BinaryOp::kGt;
+      case BinaryOp::kLe: return BinaryOp::kGe;
+      case BinaryOp::kGt: return BinaryOp::kLt;
+      case BinaryOp::kGe: return BinaryOp::kLe;
+      default: return op;
+    }
+  }
+
+  /// Extracts a sargable predicate from one conjunct, restricted to
+  /// columns of the first FROM table (resolved flat index < first_width).
+  /// NULL literals are never sargable (comparisons with NULL are never
+  /// true). Bound Value pointers alias the statement's literals, which
+  /// outlive the scan.
+  static bool SargFromConjunct(const Expr& e, int first_width, Sarg* out) {
+    if (e.kind == ExprKind::kBetween && !e.negated) {
+      const Expr& col = *e.children[0];
+      const Expr& lo = *e.children[1];
+      const Expr& hi = *e.children[2];
+      if (col.kind != ExprKind::kColumnRef || col.resolved_index < 0 ||
+          col.resolved_index >= first_width) {
+        return false;
+      }
+      if (lo.kind != ExprKind::kLiteral || lo.literal.is_null()) return false;
+      if (hi.kind != ExprKind::kLiteral || hi.literal.is_null()) return false;
+      out->column = col.resolved_index;
+      out->lo = {&lo.literal, true};
+      out->hi = {&hi.literal, true};
+      return true;
+    }
+    if (e.kind != ExprKind::kBinary) return false;
+    BinaryOp op = e.binary_op;
+    if (op != BinaryOp::kEq && op != BinaryOp::kLt && op != BinaryOp::kLe &&
+        op != BinaryOp::kGt && op != BinaryOp::kGe) {
+      return false;
+    }
+    const Expr* lhs = e.children[0].get();
+    const Expr* rhs = e.children[1].get();
+    if (lhs->kind == ExprKind::kLiteral && rhs->kind == ExprKind::kColumnRef) {
+      std::swap(lhs, rhs);
+      op = MirrorComparison(op);  // 5 < col  ==  col > 5
+    }
+    if (lhs->kind != ExprKind::kColumnRef || rhs->kind != ExprKind::kLiteral) {
+      return false;
+    }
+    if (lhs->resolved_index < 0 || lhs->resolved_index >= first_width) {
+      return false;
+    }
+    const Value& lit = rhs->literal;
+    if (lit.is_null()) return false;
+    out->column = lhs->resolved_index;
+    switch (op) {
+      case BinaryOp::kEq:
+        out->lo = {&lit, true};
+        out->hi = {&lit, true};
+        out->equality = true;
+        break;
+      case BinaryOp::kLt: out->hi = {&lit, false}; break;
+      case BinaryOp::kLe: out->hi = {&lit, true}; break;
+      case BinaryOp::kGt: out->lo = {&lit, false}; break;
+      case BinaryOp::kGe: out->lo = {&lit, true}; break;
+      default: return false;
+    }
+    return true;
+  }
+
+  /// An index scan evaluates the WHERE clause over fewer rows than a full
+  /// scan, so any WHERE subexpression that can raise an execution error
+  /// (unknown function, bare '*', misused aggregate, erroring subquery)
+  /// would make error behavior depend on the access path. Such clauses
+  /// always take the sequential path.
+  static bool SafeForPrefilter(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kStar:
+      case ExprKind::kFunction:
+      case ExprKind::kInSubquery:
+      case ExprKind::kScalarSubquery:
+        return false;
+      default:
+        break;
+    }
+    for (const auto& c : e.children) {
+      if (!SafeForPrefilter(*c)) return false;
+    }
+    return true;
+  }
+
+  /// Index ordering is Value::Compare (NULL-free); predicate evaluation is
+  /// EvalBinary. The two agree exactly when the column values and the
+  /// literal bounds sit on the same side of the numeric/text divide, so an
+  /// index is usable only for a clean same-class match.
+  static bool SargMatchesStats(const Sarg& s, const ColumnIndexStats& st) {
+    using VC = ColumnIndexStats::ValueClass;
+    if (st.value_class == VC::kMixed) return false;
+    if (st.value_class == VC::kEmpty) return true;  // no rows either way
+    if (s.lo.value == nullptr && s.hi.value == nullptr) return false;
+    auto bound_ok = [&st](const IndexBound& b) {
+      if (b.value == nullptr) return true;
+      if (b.value->is_numeric()) return st.value_class == VC::kNumeric;
+      if (b.value->is_text()) return st.value_class == VC::kText;
+      return false;
+    };
+    return bound_ok(s.lo) && bound_ok(s.hi);
+  }
+
+  /// Fraction of the table the scan is expected to touch. Numeric ranges
+  /// use a uniform estimate over the index's [min, max]; text ranges have
+  /// no histogram and are treated as unselective.
+  static double EstimateSelectivity(const Sarg& s,
+                                    const ColumnIndexStats& st) {
+    if (st.entries == 0) return 0.0;
+    if (s.equality) {
+      if (st.unique) return 1.0 / static_cast<double>(st.entries);
+      return kNonUniqueEqSelectivity;
+    }
+    if (st.value_class != ColumnIndexStats::ValueClass::kNumeric) return 1.0;
+    double min = st.min_value.ToNumeric();
+    double max = st.max_value.ToNumeric();
+    double lo = s.lo.value != nullptr ? s.lo.value->ToNumeric() : min;
+    double hi = s.hi.value != nullptr ? s.hi.value->ToNumeric() : max;
+    lo = std::max(lo, min);
+    hi = std::min(hi, max);
+    if (hi < lo) return 0.0;
+    if (max <= min) return 1.0;  // single distinct key
+    return (hi - lo) / (max - min);
+  }
+
+  /// Picks the access path that seeds the plan for backends without a
+  /// direct row vector: the first sargable WHERE conjunct with a usable,
+  /// selective-enough index wins; otherwise sequential scan. Never returns
+  /// null.
+  std::unique_ptr<RowCursor> ChooseSeedCursor(int table_index,
+                                              int first_width) {
+    static Counter& index_paths =
+        MetricsRegistry::Global().GetCounter("storage.path.index_scan");
+    static Counter& seq_paths =
+        MetricsRegistry::Global().GetCounter("storage.path.seq_scan");
+    std::unique_ptr<RowCursor> chosen;
+    if (stmt_.where != nullptr && SafeForPrefilter(*stmt_.where)) {
+      std::vector<const Expr*> conjuncts;
+      CollectConjuncts(stmt_.where.get(), &conjuncts);
+      for (const Expr* conjunct : conjuncts) {
+        Sarg sarg;
+        if (!SargFromConjunct(*conjunct, first_width, &sarg)) continue;
+        ColumnIndexStats stats;
+        if (!source_.IndexStats(table_index, sarg.column, &stats)) continue;
+        if (!SargMatchesStats(sarg, stats)) continue;
+        if (EstimateSelectivity(sarg, stats) > kIndexScanMaxSelectivity) {
+          continue;
+        }
+        chosen = source_.IndexScan(table_index, sarg.column, sarg.lo, sarg.hi);
+        if (chosen != nullptr) break;
+      }
+    }
+    if (chosen != nullptr) {
+      index_paths.Increment();
+    } else {
+      seq_paths.Increment();
+      chosen = source_.Scan(table_index);
+    }
+    return chosen;
+  }
+
+  /// Materializes a join's right table when the backend has no direct row
+  /// vector. Right-table rows are not charged here — matching historical
+  /// behavior, where only combined rows are charged during joins.
+  Result<const std::vector<Row>*> MaterializeTable(
+      int table_index, std::vector<Row>* storage) {
+    if (const std::vector<Row>* direct = source_.DirectRows(table_index)) {
+      return direct;
+    }
+    storage->clear();
+    storage->reserve(source_.SourceRowCount(table_index));
+    std::unique_ptr<RowCursor> cursor = source_.Scan(table_index);
+    Row row;
+    while (cursor->Next(&row)) {
+      storage->push_back(std::move(row));
+      if (storage->size() > kMaxIntermediateRows) {
+        return Status::ExecutionError("scan result too large");
+      }
+    }
+    CODES_RETURN_IF_ERROR(cursor->status());
+    return storage;
+  }
+
   // ------------------------------------------------------------ join phase
   /// Computes the joined, WHERE-filtered working rows.
   Result<std::vector<Row>> ProduceJoinedRows() {
-    // Seed with the first table.
+    // Seed with the first table through its chosen access path.
     const auto& entries = scope_.entries();
+    const int first_table = entries[0].table_index;
+    const int first_width = static_cast<int>(
+        source_.schema().tables[first_table].columns.size());
     std::vector<Row> current;
-    {
-      const Table& t = db_.TableAt(entries[0].table_index);
-      current.reserve(t.rows.size());
-      for (const auto& row : t.rows) {
+    if (const std::vector<Row>* direct = source_.DirectRows(first_table)) {
+      current.reserve(direct->size());
+      for (const auto& row : *direct) {
         current.push_back(row);
         CODES_RETURN_IF_ERROR(ChargeRow(current.back()));
       }
+    } else {
+      std::unique_ptr<RowCursor> cursor =
+          ChooseSeedCursor(first_table, first_width);
+      current.reserve(source_.SourceRowCount(first_table));
+      Row row;
+      while (cursor->Next(&row)) {
+        current.push_back(std::move(row));
+        CODES_RETURN_IF_ERROR(ChargeRow(current.back()));
+      }
+      CODES_RETURN_IF_ERROR(cursor->status());
     }
-    int current_width =
-        static_cast<int>(db_.schema().tables[entries[0].table_index].columns.size());
+    int current_width = first_width;
 
     for (size_t j = 0; j < stmt_.joins.size(); ++j) {
       const JoinClause& join = stmt_.joins[j];
       const ScopeEntry& entry = entries[j + 1];
-      const Table& right = db_.TableAt(entry.table_index);
-      int right_width =
-          static_cast<int>(db_.schema().tables[entry.table_index].columns.size());
+      std::vector<Row> right_storage;
+      CODES_ASSIGN_OR_RETURN(
+          const std::vector<Row>* right_rows,
+          MaterializeTable(entry.table_index, &right_storage));
+      int right_width = static_cast<int>(
+          source_.schema().tables[entry.table_index].columns.size());
 
       // Try hash join: condition of form colA = colB with one side in the
       // accumulated prefix and the other in the new table.
@@ -358,8 +593,8 @@ class SelectRunner {
       if (left_key >= 0) {
         // Hash join on equality keys.
         std::unordered_multimap<size_t, const Row*> table;
-        table.reserve(right.rows.size());
-        for (const auto& rrow : right.rows) {
+        table.reserve(right_rows->size());
+        for (const auto& rrow : *right_rows) {
           if (rrow[right_key].is_null()) continue;
           table.emplace(rrow[right_key].Hash(), &rrow);
         }
@@ -382,7 +617,7 @@ class SelectRunner {
       } else {
         // Nested-loop join with optional theta condition.
         for (const auto& lrow : current) {
-          for (const auto& rrow : right.rows) {
+          for (const auto& rrow : *right_rows) {
             Row combined = lrow;
             combined.insert(combined.end(), rrow.begin(), rrow.end());
             if (join.condition) {
@@ -768,7 +1003,7 @@ class SelectRunner {
     auto it = subquery_cache_.find(&e);
     if (it == subquery_cache_.end()) {
       if (guard_ != nullptr) CODES_RETURN_IF_ERROR(guard_->EnterNested());
-      Executor sub_exec(db_);
+      Executor sub_exec(source_);
       auto result = sub_exec.Execute(*e.subquery, guard_);
       if (guard_ != nullptr) guard_->LeaveNested();
       if (!result.ok()) return result.status();
@@ -988,7 +1223,7 @@ class SelectRunner {
     return Status::ExecutionError("unknown aggregate: " + f);
   }
 
-  const Database& db_;
+  const ExecSource& source_;
   const SelectStatement& stmt_;
   ExecGuard* guard_;            ///< may be null (unguarded)
   size_t step_rows_ = 0;        ///< rows since start, for the step failpoint
@@ -1012,7 +1247,7 @@ std::vector<Row> DedupeRows(const std::vector<Row>& rows) {
 
 Result<ResultTable> Executor::Execute(const SelectStatement& stmt,
                                       ExecGuard* guard) const {
-  SelectRunner runner(db_, stmt, guard);
+  SelectRunner runner(source_, stmt, guard);
   auto left = runner.Run();
   if (!left.ok()) return left.status();
   if (stmt.set_op == SetOp::kNone) return left;
@@ -1061,15 +1296,15 @@ Result<ResultTable> Executor::Execute(const SelectStatement& stmt,
   return out;
 }
 
-Result<ResultTable> ExecuteSql(const Database& db, std::string_view sql,
+Result<ResultTable> ExecuteSql(const ExecSource& source, std::string_view sql,
                                ExecGuard* guard) {
   CODES_ASSIGN_OR_RETURN(auto stmt, ParseSql(sql));
-  Executor executor(db);
+  Executor executor(source);
   return executor.Execute(*stmt, guard);
 }
 
-bool IsExecutable(const Database& db, std::string_view sql) {
-  return ExecuteSql(db, sql).ok();
+bool IsExecutable(const ExecSource& source, std::string_view sql) {
+  return ExecuteSql(source, sql).ok();
 }
 
 }  // namespace codes::sql

@@ -8,11 +8,15 @@
 #include "common/status.h"
 #include "sqlengine/ast.h"
 #include "sqlengine/database.h"
+#include "sqlengine/exec_source.h"
 #include "sqlengine/result_table.h"
 
 namespace codes::sql {
 
-/// Query executor over an in-memory Database.
+/// Query executor over any ExecSource backend — the in-memory Database or
+/// the disk-backed storage engine. The same AST produces byte-identical
+/// results over either (the two-backend equivalence contract, DESIGN.md
+/// section 14).
 ///
 /// Supported plan shapes: scans, inner equi-/theta-joins (hash join is used
 /// automatically for equality ON conditions), WHERE filters, grouped and
@@ -20,6 +24,13 @@ namespace codes::sql {
 /// aliases, or 1-based positions), LIMIT, set operations, uncorrelated IN /
 /// scalar subqueries, and the scalar functions ABS, ROUND, LENGTH, UPPER,
 /// LOWER, SUBSTR, CAST.
+///
+/// Access paths: the first FROM table is read through a pluggable access
+/// path. Backends exposing indexes get an index scan when the WHERE clause
+/// has a sargable conjunct (`col op literal`, `col BETWEEN lit AND lit`)
+/// whose estimated selectivity passes a simple cost rule; everything else
+/// is a sequential scan. Path choice never changes results — an index scan
+/// is a pure prefilter and the full WHERE clause is still applied.
 ///
 /// Guarded execution: when a non-null ExecGuard is passed, row production
 /// charges its row/byte budgets, deadline/cancellation are polled from
@@ -29,7 +40,7 @@ namespace codes::sql {
 /// (the default) is the historical unguarded behaviour.
 class Executor {
  public:
-  explicit Executor(const Database& db) : db_(db) {}
+  explicit Executor(const ExecSource& source) : source_(source) {}
 
   /// Executes `stmt` and returns the result table. `guard`, when non-null,
   /// must outlive the call; it is shared by nested subquery execution.
@@ -37,17 +48,17 @@ class Executor {
                               ExecGuard* guard = nullptr) const;
 
  private:
-  const Database& db_;
+  const ExecSource& source_;
 };
 
-/// Parses and executes `sql` against `db` in one step, honoring `guard`
+/// Parses and executes `sql` against `source` in one step, honoring `guard`
 /// during execution (parsing enforces its own fixed nesting-depth cap).
-Result<ResultTable> ExecuteSql(const Database& db, std::string_view sql,
+Result<ResultTable> ExecuteSql(const ExecSource& source, std::string_view sql,
                                ExecGuard* guard = nullptr);
 
 /// True if `sql` parses and executes without error ("is executable"), the
 /// predicate the paper uses to pick among beam candidates.
-bool IsExecutable(const Database& db, std::string_view sql);
+bool IsExecutable(const ExecSource& source, std::string_view sql);
 
 }  // namespace codes::sql
 

@@ -1,0 +1,202 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+
+#include "common/failpoint.h"
+#include "common/metrics.h"
+
+namespace codes::storage {
+
+namespace {
+
+Counter& HitCounter() {
+  static Counter& c = MetricsRegistry::Global().GetCounter("storage.bp.hit");
+  return c;
+}
+Counter& MissCounter() {
+  static Counter& c = MetricsRegistry::Global().GetCounter("storage.bp.miss");
+  return c;
+}
+Counter& EvictionCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().GetCounter("storage.bp.evictions");
+  return c;
+}
+
+}  // namespace
+
+PageGuard& PageGuard::operator=(PageGuard&& o) noexcept {
+  if (this != &o) {
+    Release();
+    pool_ = o.pool_;
+    frame_ = o.frame_;
+    page_id_ = o.page_id_;
+    o.pool_ = nullptr;
+    o.frame_ = -1;
+    o.page_id_ = kInvalidPageId;
+  }
+  return *this;
+}
+
+std::byte* PageGuard::data() {
+  return pool_ != nullptr ? pool_->frames_[frame_].data.get() : nullptr;
+}
+
+const std::byte* PageGuard::data() const {
+  return pool_ != nullptr ? pool_->frames_[frame_].data.get() : nullptr;
+}
+
+void PageGuard::MarkDirty() {
+  if (pool_ != nullptr) pool_->SetDirty(frame_);
+}
+
+void PageGuard::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+    frame_ = -1;
+    page_id_ = kInvalidPageId;
+  }
+}
+
+BufferPool::BufferPool(DiskManager* disk, size_t num_frames) : disk_(disk) {
+  if (num_frames == 0) num_frames = 1;
+  frames_.resize(num_frames);
+  free_frames_.reserve(num_frames);
+  for (size_t i = 0; i < num_frames; ++i) {
+    frames_[i].data = std::make_unique<std::byte[]>(kPageSize);
+    free_frames_.push_back(static_cast<int>(num_frames - 1 - i));
+  }
+}
+
+BufferPool::~BufferPool() {
+  // Best-effort write-back so a dropped pool does not lose dirty pages in
+  // file mode; errors are unreportable here and the explicit FlushAll path
+  // is what correctness-sensitive callers use.
+  (void)FlushAll();
+}
+
+Result<int> BufferPool::AcquireFrameLocked() {
+  if (!free_frames_.empty()) {
+    int frame = free_frames_.back();
+    free_frames_.pop_back();
+    return frame;
+  }
+  int victim = -1;
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    const Frame& f = frames_[i];
+    if (f.pin_count > 0) continue;
+    if (victim < 0 || f.last_unpin < frames_[victim].last_unpin) {
+      victim = static_cast<int>(i);
+    }
+  }
+  if (victim < 0) {
+    return Status::ResourceExhausted("buffer pool: all frames pinned");
+  }
+  Frame& f = frames_[victim];
+  if (f.dirty) {
+    if (Failpoints::ShouldFail(FailpointSite::kStorageEvict)) {
+      return Failpoints::FailStatus(FailpointSite::kStorageEvict);
+    }
+    CODES_RETURN_IF_ERROR(disk_->WritePage(f.id, f.data.get()));
+    f.dirty = false;
+  }
+  page_table_.erase(f.id);
+  f.id = kInvalidPageId;
+  ++evictions_;
+  EvictionCounter().Increment();
+  return victim;
+}
+
+Result<PageGuard> BufferPool::Fetch(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    ++hits_;
+    HitCounter().Increment();
+    Frame& f = frames_[it->second];
+    ++f.pin_count;
+    return PageGuard(this, it->second, id);
+  }
+  ++misses_;
+  MissCounter().Increment();
+  CODES_ASSIGN_OR_RETURN(int frame, AcquireFrameLocked());
+  Frame& f = frames_[frame];
+  Status read = disk_->ReadPage(id, f.data.get());
+  if (!read.ok()) {
+    free_frames_.push_back(frame);
+    return read;
+  }
+  f.id = id;
+  f.pin_count = 1;
+  f.dirty = false;
+  page_table_[id] = frame;
+  return PageGuard(this, frame, id);
+}
+
+Result<PageGuard> BufferPool::NewPage() {
+  std::lock_guard<std::mutex> lock(mu_);
+  CODES_ASSIGN_OR_RETURN(PageId id, disk_->Allocate());
+  auto acquired = AcquireFrameLocked();
+  if (!acquired.ok()) {
+    // The allocated page stays zeroed on disk; it is simply not resident.
+    return acquired.status();
+  }
+  int frame = *acquired;
+  Frame& f = frames_[frame];
+  std::memset(f.data.get(), 0, kPageSize);
+  f.id = id;
+  f.pin_count = 1;
+  f.dirty = true;
+  page_table_[id] = frame;
+  return PageGuard(this, frame, id);
+}
+
+Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Frame& f : frames_) {
+    if (f.id == kInvalidPageId || !f.dirty) continue;
+    CODES_RETURN_IF_ERROR(disk_->WritePage(f.id, f.data.get()));
+    f.dirty = false;
+  }
+  return Status::Ok();
+}
+
+void BufferPool::Unpin(int frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Frame& f = frames_[frame];
+  if (f.pin_count > 0 && --f.pin_count == 0) {
+    f.last_unpin = ++clock_;
+  }
+}
+
+void BufferPool::SetDirty(int frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  frames_[frame].dirty = true;
+}
+
+size_t BufferPool::pinned_frames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const Frame& f : frames_) {
+    if (f.pin_count > 0) ++n;
+  }
+  return n;
+}
+
+uint64_t BufferPool::hit_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t BufferPool::miss_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+uint64_t BufferPool::eviction_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+}  // namespace codes::storage

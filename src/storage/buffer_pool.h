@@ -1,0 +1,122 @@
+#ifndef CODES_STORAGE_BUFFER_POOL_H_
+#define CODES_STORAGE_BUFFER_POOL_H_
+
+// Fixed-frame page cache between the access methods and the disk manager.
+//
+// Concurrency contract: all bookkeeping (page table, pin counts, LRU
+// clock, dirty flags) is guarded by one mutex; page BYTES are read outside
+// the lock while a PageGuard pin is held. That is race-free because a
+// pinned frame is never chosen as an eviction victim, frame contents are
+// written only while the filling thread holds the mutex (before the guard
+// is handed out), and mutators run single-threaded by the storage engine's
+// build-then-read lifecycle. The buffer-pool stress test runs this under
+// TSan with concurrent readers.
+//
+// Eviction: least-recently-unpinned frame; a dirty victim is written back
+// first (never dropped — write-back failure fails the fetch and leaves the
+// victim resident). storage.evict injects write-back faults.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace codes::storage {
+
+class BufferPool;
+
+/// RAII pin on one buffer-pool frame. Movable, not copyable; unpins on
+/// destruction. An invalid (default/moved-from) guard has data()==nullptr.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(PageGuard&& o) noexcept { *this = std::move(o); }
+  PageGuard& operator=(PageGuard&& o) noexcept;
+  ~PageGuard() { Release(); }
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+
+  std::byte* data();
+  const std::byte* data() const;
+  PageId page_id() const { return page_id_; }
+  bool valid() const { return pool_ != nullptr; }
+
+  /// Marks the page as modified so eviction/flush writes it back.
+  void MarkDirty();
+
+  /// Unpins early (idempotent).
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PageGuard(BufferPool* pool, int frame, PageId id)
+      : pool_(pool), frame_(frame), page_id_(id) {}
+
+  BufferPool* pool_ = nullptr;
+  int frame_ = -1;
+  PageId page_id_ = kInvalidPageId;
+};
+
+class BufferPool {
+ public:
+  BufferPool(DiskManager* disk, size_t num_frames);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+  ~BufferPool();
+
+  /// Pins page `id`, reading it from disk on a miss (evicting if needed).
+  Result<PageGuard> Fetch(PageId id);
+
+  /// Allocates a fresh zeroed page, pinned and already marked dirty.
+  Result<PageGuard> NewPage();
+
+  /// Writes every dirty resident page back to disk.
+  Status FlushAll();
+
+  size_t num_frames() const { return frames_.size(); }
+
+  /// Frames with pin_count > 0 (stress tests assert this returns to 0).
+  size_t pinned_frames() const;
+
+  uint64_t hit_count() const;
+  uint64_t miss_count() const;
+  uint64_t eviction_count() const;
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    std::unique_ptr<std::byte[]> data;
+    PageId id = kInvalidPageId;
+    int pin_count = 0;
+    bool dirty = false;
+    uint64_t last_unpin = 0;  ///< LRU clock value at last pin drop
+  };
+
+  void Unpin(int frame);
+  void SetDirty(int frame);
+  /// Returns a pinnable frame: a free one, or the least-recently-unpinned
+  /// evictable frame after write-back. Requires mu_ held.
+  Result<int> AcquireFrameLocked();
+
+  DiskManager* disk_;
+  mutable std::mutex mu_;
+  std::vector<Frame> frames_;
+  std::vector<int> free_frames_;
+  std::unordered_map<PageId, int> page_table_;
+  uint64_t clock_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace codes::storage
+
+#endif  // CODES_STORAGE_BUFFER_POOL_H_

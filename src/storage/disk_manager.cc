@@ -1,0 +1,152 @@
+#include "storage/disk_manager.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/failpoint.h"
+#include "common/metrics.h"
+
+namespace codes::storage {
+
+namespace {
+
+Counter& PageReadCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().GetCounter("storage.page_reads");
+  return c;
+}
+
+Counter& PageWriteCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().GetCounter("storage.page_writes");
+  return c;
+}
+
+}  // namespace
+
+std::unique_ptr<DiskManager> DiskManager::CreateInMemory() {
+  return std::unique_ptr<DiskManager>(new DiskManager());
+}
+
+Result<std::unique_ptr<DiskManager>> DiskManager::Create(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb+");
+  if (f == nullptr) {
+    return Status::Internal("cannot create database file: " + path);
+  }
+  auto dm = std::unique_ptr<DiskManager>(new DiskManager());
+  dm->file_ = f;
+  return dm;
+}
+
+Result<std::unique_ptr<DiskManager>> DiskManager::Open(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open database file: " + path);
+  }
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return Status::Internal("cannot size database file: " + path);
+  }
+  long size = std::ftell(f);
+  if (size < 0 || size % static_cast<long>(kPageSize) != 0) {
+    std::fclose(f);
+    return Status::Internal("database file is not page-aligned: " + path);
+  }
+  auto dm = std::unique_ptr<DiskManager>(new DiskManager());
+  dm->file_ = f;
+  dm->page_count_ = static_cast<size_t>(size) / kPageSize;
+  return dm;
+}
+
+DiskManager::~DiskManager() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<PageId> DiskManager::Allocate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (page_count_ >= kInvalidPageId) {
+    return Status::ResourceExhausted("page id space exhausted");
+  }
+  PageId id = static_cast<PageId>(page_count_);
+  if (file_ == nullptr) {
+    auto page = std::make_unique<std::byte[]>(kPageSize);
+    std::memset(page.get(), 0, kPageSize);
+    pages_.push_back(std::move(page));
+  } else {
+    std::byte zeros[kPageSize];
+    std::memset(zeros, 0, kPageSize);
+    if (std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET) != 0 ||
+        std::fwrite(zeros, 1, kPageSize, file_) != kPageSize) {
+      return Status::Internal("cannot extend database file");
+    }
+  }
+  ++page_count_;
+  return id;
+}
+
+Status DiskManager::ReadPage(PageId id, std::byte* out) {
+  if (Failpoints::ShouldFail(FailpointSite::kStoragePageRead)) {
+    return Failpoints::FailStatus(FailpointSite::kStoragePageRead);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= page_count_) {
+    return Status::Internal("read of unallocated page " + std::to_string(id));
+  }
+  ++reads_;
+  PageReadCounter().Increment();
+  if (file_ == nullptr) {
+    std::memcpy(out, pages_[id].get(), kPageSize);
+    return Status::Ok();
+  }
+  if (std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET) != 0 ||
+      std::fread(out, 1, kPageSize, file_) != kPageSize) {
+    return Status::Internal("short read of page " + std::to_string(id));
+  }
+  return Status::Ok();
+}
+
+Status DiskManager::WritePage(PageId id, const std::byte* data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= page_count_) {
+    return Status::Internal("write of unallocated page " +
+                            std::to_string(id));
+  }
+  ++writes_;
+  PageWriteCounter().Increment();
+  if (file_ == nullptr) {
+    std::memcpy(pages_[id].get(), data, kPageSize);
+    return Status::Ok();
+  }
+  if (std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET) != 0 ||
+      std::fwrite(data, 1, kPageSize, file_) != kPageSize) {
+    return Status::Internal("short write of page " + std::to_string(id));
+  }
+  return Status::Ok();
+}
+
+Status DiskManager::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr && std::fflush(file_) != 0) {
+    return Status::Internal("cannot flush database file");
+  }
+  return Status::Ok();
+}
+
+size_t DiskManager::page_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return page_count_;
+}
+
+uint64_t DiskManager::read_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reads_;
+}
+
+uint64_t DiskManager::write_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return writes_;
+}
+
+}  // namespace codes::storage

@@ -1,0 +1,68 @@
+#ifndef CODES_STORAGE_DISK_MANAGER_H_
+#define CODES_STORAGE_DISK_MANAGER_H_
+
+// Page-granular I/O under the buffer pool. Two modes share one API:
+// file-backed (a real database file) and in-memory (a vector of pages) —
+// the latter powers the fuzz storage-differential oracle and most tests
+// without touching the filesystem. Reads evaluate the storage.page_read
+// failpoint, so chaos campaigns can inject media errors deterministically.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace codes::storage {
+
+class DiskManager {
+ public:
+  /// Pure in-memory page store (no file).
+  static std::unique_ptr<DiskManager> CreateInMemory();
+
+  /// Creates/truncates a database file.
+  static Result<std::unique_ptr<DiskManager>> Create(const std::string& path);
+
+  /// Opens an existing database file; page count comes from the file size.
+  static Result<std::unique_ptr<DiskManager>> Open(const std::string& path);
+
+  ~DiskManager();
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  /// Appends one zeroed page and returns its id.
+  Result<PageId> Allocate();
+
+  /// Reads page `id` into `out` (kPageSize bytes).
+  Status ReadPage(PageId id, std::byte* out);
+
+  /// Writes `data` (kPageSize bytes) to page `id`.
+  Status WritePage(PageId id, const std::byte* data);
+
+  /// Flushes buffered file writes to the OS. No-op in memory mode.
+  Status Flush();
+
+  size_t page_count() const;
+  bool in_memory() const { return file_ == nullptr; }
+
+  /// Physical I/O counters (reads include failpoint-failed attempts).
+  uint64_t read_count() const;
+  uint64_t write_count() const;
+
+ private:
+  DiskManager() = default;
+
+  mutable std::mutex mu_;
+  std::FILE* file_ = nullptr;             // null in memory mode
+  std::vector<std::unique_ptr<std::byte[]>> pages_;  // memory mode storage
+  size_t page_count_ = 0;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+};
+
+}  // namespace codes::storage
+
+#endif  // CODES_STORAGE_DISK_MANAGER_H_

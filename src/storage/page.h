@@ -1,0 +1,65 @@
+#ifndef CODES_STORAGE_PAGE_H_
+#define CODES_STORAGE_PAGE_H_
+
+// Fixed-size page primitives shared by the disk manager, buffer pool,
+// table heap, and B+ tree (DESIGN.md section 14). All on-page integers are
+// stored in host byte order via memcpy — database files are a cache
+// format, not an interchange format, so cross-endian portability is
+// explicitly out of scope.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <tuple>
+
+namespace codes::storage {
+
+/// One buffer-pool frame / one disk block. 8 KiB holds ~hundreds of
+/// typical rows and keeps even the widest generated row (< 1 KiB) far
+/// from the oversize limit.
+inline constexpr size_t kPageSize = 8192;
+
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+
+/// Physical row locator: (heap page, slot within the page). RIDs are
+/// assigned monotonically by append order, so sorting RIDs recovers
+/// insertion order — the property index scans rely on to match the
+/// sequential-scan row order exactly.
+struct Rid {
+  PageId page = kInvalidPageId;
+  uint32_t slot = 0;
+
+  bool operator==(const Rid& o) const {
+    return page == o.page && slot == o.slot;
+  }
+  bool operator!=(const Rid& o) const { return !(*this == o); }
+  bool operator<(const Rid& o) const {
+    return std::tie(page, slot) < std::tie(o.page, o.slot);
+  }
+};
+
+// ------------------------------------------------------------ byte codec
+inline void StoreU16(std::byte* p, uint16_t v) { std::memcpy(p, &v, 2); }
+inline void StoreU32(std::byte* p, uint32_t v) { std::memcpy(p, &v, 4); }
+inline void StoreU64(std::byte* p, uint64_t v) { std::memcpy(p, &v, 8); }
+
+inline uint16_t LoadU16(const std::byte* p) {
+  uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+inline uint32_t LoadU32(const std::byte* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+inline uint64_t LoadU64(const std::byte* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+}  // namespace codes::storage
+
+#endif  // CODES_STORAGE_PAGE_H_

@@ -1,0 +1,139 @@
+#include "storage/record_codec.h"
+
+#include <cstring>
+
+namespace codes::storage {
+
+namespace {
+
+constexpr uint8_t kTagNull = 0;
+constexpr uint8_t kTagInteger = 1;
+constexpr uint8_t kTagReal = 2;
+constexpr uint8_t kTagText = 3;
+
+void AppendRaw(const void* data, size_t size, std::string* out) {
+  out->append(static_cast<const char*>(data), size);
+}
+
+Status Truncated() { return Status::Internal("truncated record"); }
+
+}  // namespace
+
+void AppendValue(const sql::Value& v, std::string* out) {
+  if (v.is_null()) {
+    out->push_back(static_cast<char>(kTagNull));
+  } else if (v.is_integer()) {
+    out->push_back(static_cast<char>(kTagInteger));
+    int64_t raw = v.AsInteger();
+    AppendRaw(&raw, 8, out);
+  } else if (v.is_real()) {
+    out->push_back(static_cast<char>(kTagReal));
+    double raw = v.AsReal();
+    AppendRaw(&raw, 8, out);
+  } else {
+    out->push_back(static_cast<char>(kTagText));
+    const std::string& text = v.AsText();
+    uint32_t len = static_cast<uint32_t>(text.size());
+    AppendRaw(&len, 4, out);
+    out->append(text);
+  }
+}
+
+Status ParseValue(const char* data, size_t size, size_t* pos,
+                  sql::Value* out) {
+  if (*pos >= size) return Truncated();
+  uint8_t tag = static_cast<uint8_t>(data[(*pos)++]);
+  switch (tag) {
+    case kTagNull:
+      *out = sql::Value();
+      return Status::Ok();
+    case kTagInteger: {
+      if (*pos + 8 > size) return Truncated();
+      int64_t raw;
+      std::memcpy(&raw, data + *pos, 8);
+      *pos += 8;
+      *out = sql::Value(raw);
+      return Status::Ok();
+    }
+    case kTagReal: {
+      if (*pos + 8 > size) return Truncated();
+      double raw;
+      std::memcpy(&raw, data + *pos, 8);
+      *pos += 8;
+      *out = sql::Value(raw);
+      return Status::Ok();
+    }
+    case kTagText: {
+      if (*pos + 4 > size) return Truncated();
+      uint32_t len;
+      std::memcpy(&len, data + *pos, 4);
+      *pos += 4;
+      if (*pos + len > size) return Truncated();
+      *out = sql::Value(std::string(data + *pos, len));
+      *pos += len;
+      return Status::Ok();
+    }
+    default:
+      return Status::Internal("unknown value tag " + std::to_string(tag));
+  }
+}
+
+Status ParseValue(const std::string& buf, size_t* pos, sql::Value* out) {
+  return ParseValue(buf.data(), buf.size(), pos, out);
+}
+
+void AppendRow(const std::vector<sql::Value>& row, std::string* out) {
+  uint16_t arity = static_cast<uint16_t>(row.size());
+  AppendRaw(&arity, 2, out);
+  for (const auto& v : row) AppendValue(v, out);
+}
+
+Status ParseRow(const char* data, size_t size,
+                std::vector<sql::Value>* out) {
+  if (size < 2) return Truncated();
+  uint16_t arity;
+  std::memcpy(&arity, data, 2);
+  size_t pos = 2;
+  out->clear();
+  out->reserve(arity);
+  for (uint16_t i = 0; i < arity; ++i) {
+    sql::Value v;
+    CODES_RETURN_IF_ERROR(ParseValue(data, size, &pos, &v));
+    out->push_back(std::move(v));
+  }
+  return Status::Ok();
+}
+
+void AppendString(const std::string& s, std::string* out) {
+  AppendU32(static_cast<uint32_t>(s.size()), out);
+  out->append(s);
+}
+
+void AppendU32(uint32_t v, std::string* out) { AppendRaw(&v, 4, out); }
+
+void AppendU64(uint64_t v, std::string* out) { AppendRaw(&v, 8, out); }
+
+Status ParseString(const std::string& buf, size_t* pos, std::string* out) {
+  uint32_t len;
+  CODES_RETURN_IF_ERROR(ParseU32(buf, pos, &len));
+  if (*pos + len > buf.size()) return Truncated();
+  out->assign(buf, *pos, len);
+  *pos += len;
+  return Status::Ok();
+}
+
+Status ParseU32(const std::string& buf, size_t* pos, uint32_t* out) {
+  if (*pos + 4 > buf.size()) return Truncated();
+  std::memcpy(out, buf.data() + *pos, 4);
+  *pos += 4;
+  return Status::Ok();
+}
+
+Status ParseU64(const std::string& buf, size_t* pos, uint64_t* out) {
+  if (*pos + 8 > buf.size()) return Truncated();
+  std::memcpy(out, buf.data() + *pos, 8);
+  *pos += 8;
+  return Status::Ok();
+}
+
+}  // namespace codes::storage

@@ -1,0 +1,42 @@
+#ifndef CODES_STORAGE_RECORD_CODEC_H_
+#define CODES_STORAGE_RECORD_CODEC_H_
+
+// Self-describing serialization of sql::Value rows and index keys. The
+// codec round-trips values exactly (including the INTEGER/REAL type tag
+// and raw text bytes), which is what makes the disk-backed backend
+// byte-identical to the in-memory one.
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sqlengine/value.h"
+
+namespace codes::storage {
+
+/// Appends one value: [tag u8][payload]. Tags: 0 NULL, 1 INTEGER (8B),
+/// 2 REAL (8B IEEE bits), 3 TEXT (u32 length + bytes).
+void AppendValue(const sql::Value& v, std::string* out);
+
+/// Parses one value starting at `*pos`; advances `*pos` past it.
+Status ParseValue(const std::string& buf, size_t* pos, sql::Value* out);
+Status ParseValue(const char* data, size_t size, size_t* pos,
+                  sql::Value* out);
+
+/// Appends a row: [u16 arity][values...].
+void AppendRow(const std::vector<sql::Value>& row, std::string* out);
+
+/// Parses a row serialized by AppendRow from a raw byte range.
+Status ParseRow(const char* data, size_t size, std::vector<sql::Value>* out);
+
+/// Appends a length-prefixed string / fixed-width integers (catalog codec).
+void AppendString(const std::string& s, std::string* out);
+void AppendU32(uint32_t v, std::string* out);
+void AppendU64(uint64_t v, std::string* out);
+Status ParseString(const std::string& buf, size_t* pos, std::string* out);
+Status ParseU32(const std::string& buf, size_t* pos, uint32_t* out);
+Status ParseU64(const std::string& buf, size_t* pos, uint64_t* out);
+
+}  // namespace codes::storage
+
+#endif  // CODES_STORAGE_RECORD_CODEC_H_

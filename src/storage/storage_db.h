@@ -1,0 +1,122 @@
+#ifndef CODES_STORAGE_STORAGE_DB_H_
+#define CODES_STORAGE_STORAGE_DB_H_
+
+// Disk-backed database engine: the second sql::ExecSource backend. A
+// StorageDb holds the same logical content as an in-memory sql::Database —
+// schema, tables in insertion order — but stores rows in slotted table-heap
+// pages behind a buffer pool, with B+ tree indexes over every clean-class
+// column (see ColumnIndexStats::ValueClass).
+//
+// File layout: page 0 heads a chained catalog (schema + per-table heap
+// extents + per-index roots and stats); heap and index pages follow in
+// allocation order. Open() is LAZY: it reads only the catalog chain, so
+// cold-open cost is independent of row count — heap/index pages fault in
+// through the buffer pool on first access (a regression test pins this).
+//
+// Lifecycle contract: build (CreateFrom) is single-threaded; after the
+// catalog is written the database is read-only and every accessor —
+// Scan/IndexScan/IndexStats/Materialize — is safe to call from any number
+// of threads concurrently (the buffer pool serializes frame bookkeeping).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "sqlengine/exec_source.h"
+#include "storage/btree.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+#include "storage/table_heap.h"
+
+namespace codes::storage {
+
+class StorageDb : public sql::ExecSource {
+ public:
+  /// Default buffer-pool size for general use; tests shrink it to force
+  /// eviction traffic.
+  static constexpr size_t kDefaultPoolFrames = 64;
+
+  /// Bulk-loads every table (and index) of `src` into `disk` and returns
+  /// the resulting engine. `disk` must be freshly created (empty).
+  static Result<std::unique_ptr<StorageDb>> CreateFrom(
+      const sql::ExecSource& src, std::unique_ptr<DiskManager> disk,
+      size_t pool_frames = kDefaultPoolFrames);
+
+  /// CreateFrom over an in-memory page store — the form the differential
+  /// harness and fuzz oracle use (no filesystem traffic).
+  static Result<std::unique_ptr<StorageDb>> CreateInMemoryFrom(
+      const sql::ExecSource& src, size_t pool_frames = kDefaultPoolFrames);
+
+  /// Cold-opens an existing database file. Reads ONLY the catalog chain;
+  /// row data faults in lazily on first access.
+  static Result<std::unique_ptr<StorageDb>> Open(
+      const std::string& path, size_t pool_frames = kDefaultPoolFrames);
+
+  /// Writes all dirty pages back and flushes the file.
+  Status Flush();
+
+  // --- sql::ExecSource ---
+  const sql::DatabaseSchema& schema() const override { return schema_; }
+  size_t SourceRowCount(int table_index) const override;
+  std::unique_ptr<sql::RowCursor> Scan(int table_index) const override;
+  bool IndexStats(int table_index, int column_index,
+                  sql::ColumnIndexStats* out) const override;
+  std::unique_ptr<sql::RowCursor> IndexScan(
+      int table_index, int column_index, const sql::IndexBound& lo,
+      const sql::IndexBound& hi) const override;
+
+  /// Bench/test knob: when false, IndexStats reports no indexes, forcing
+  /// the executor onto sequential scans (used to measure the index-scan
+  /// speedup and to diff the two access paths against each other).
+  void set_index_scans_enabled(bool enabled) {
+    index_scans_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool index_scans_enabled() const {
+    return index_scans_enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Eagerly reads one whole table (testing/inspection helper).
+  Result<std::vector<sql::Row>> Materialize(int table_index) const;
+
+  const DiskManager& disk() const { return *disk_; }
+  const BufferPool& buffer_pool() const { return *pool_; }
+  size_t index_count() const { return indexes_.size(); }
+
+ private:
+  struct TableInfo {
+    TableHeap heap;
+  };
+
+  struct IndexInfo {
+    uint32_t table = 0;
+    uint32_t column = 0;
+    PageId root = kInvalidPageId;
+    sql::ColumnIndexStats stats;
+  };
+
+  StorageDb() = default;
+
+  Status WriteCatalog();
+  Status ReadCatalog();
+  std::string SerializeCatalog() const;
+  Status ParseCatalog(const std::string& blob);
+  const IndexInfo* FindIndex(int table_index, int column_index) const;
+
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferPool> pool_;
+  sql::DatabaseSchema schema_;
+  std::vector<TableInfo> tables_;
+  std::vector<IndexInfo> indexes_;
+  /// (table << 32 | column) -> position in indexes_.
+  std::unordered_map<uint64_t, size_t> index_lookup_;
+  std::atomic<bool> index_scans_enabled_{true};
+};
+
+}  // namespace codes::storage
+
+#endif  // CODES_STORAGE_STORAGE_DB_H_

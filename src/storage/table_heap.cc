@@ -1,0 +1,163 @@
+#include "storage/table_heap.h"
+
+#include <cstring>
+
+#include "storage/record_codec.h"
+
+namespace codes::storage {
+
+namespace {
+
+constexpr size_t kHeaderBytes = 8;      // slot_count, payload_start, next
+constexpr size_t kSlotBytes = 4;        // offset, length
+constexpr size_t kSlotCountOff = 0;
+constexpr size_t kPayloadStartOff = 2;
+constexpr size_t kNextPageOff = 4;
+
+uint16_t SlotCount(const std::byte* page) {
+  return LoadU16(page + kSlotCountOff);
+}
+uint16_t PayloadStart(const std::byte* page) {
+  return LoadU16(page + kPayloadStartOff);
+}
+PageId NextPage(const std::byte* page) { return LoadU32(page + kNextPageOff); }
+
+void InitPage(std::byte* page) {
+  StoreU16(page + kSlotCountOff, 0);
+  // payload_start == 0 encodes kPageSize (payload region empty): u16
+  // cannot represent 8192 itself, and 0 is never a valid payload offset
+  // because the header occupies the front of the page.
+  StoreU16(page + kPayloadStartOff, 0);
+  StoreU32(page + kNextPageOff, kInvalidPageId);
+}
+
+/// Decoded payload_start: 0 means "kPageSize" (empty page).
+size_t PayloadStartDecoded(const std::byte* page) {
+  uint16_t raw = PayloadStart(page);
+  return raw == 0 ? kPageSize : raw;
+}
+
+size_t FreeBytes(const std::byte* page) {
+  size_t slots_end = kHeaderBytes + SlotCount(page) * kSlotBytes;
+  return PayloadStartDecoded(page) - slots_end;
+}
+
+}  // namespace
+
+Result<TableHeap> TableHeap::Create(BufferPool* pool) {
+  CODES_ASSIGN_OR_RETURN(PageGuard guard, pool->NewPage());
+  InitPage(guard.data());
+  guard.MarkDirty();
+  TableHeap heap(pool, guard.page_id(), guard.page_id(), 0);
+  return heap;
+}
+
+TableHeap::TableHeap(BufferPool* pool, PageId first_page, PageId last_page,
+                     uint64_t row_count)
+    : pool_(pool),
+      first_page_(first_page),
+      last_page_(last_page),
+      row_count_(row_count) {}
+
+size_t TableHeap::MaxRecordBytes() {
+  return kPageSize - kHeaderBytes - kSlotBytes;
+}
+
+Result<Rid> TableHeap::Append(const std::vector<sql::Value>& row) {
+  std::string record;
+  AppendRow(row, &record);
+  if (record.size() > MaxRecordBytes()) {
+    return Status::ResourceExhausted(
+        "row of " + std::to_string(record.size()) +
+        " bytes exceeds page capacity");
+  }
+  CODES_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(last_page_));
+  if (FreeBytes(guard.data()) < record.size() + kSlotBytes) {
+    // Tail page full: chain a fresh page.
+    CODES_ASSIGN_OR_RETURN(PageGuard fresh, pool_->NewPage());
+    InitPage(fresh.data());
+    fresh.MarkDirty();
+    StoreU32(guard.data() + kNextPageOff, fresh.page_id());
+    guard.MarkDirty();
+    last_page_ = fresh.page_id();
+    guard = std::move(fresh);
+  }
+  std::byte* page = guard.data();
+  uint16_t slot = SlotCount(page);
+  size_t payload_start = PayloadStartDecoded(page) - record.size();
+  std::memcpy(page + payload_start, record.data(), record.size());
+  StoreU16(page + kHeaderBytes + slot * kSlotBytes,
+           static_cast<uint16_t>(payload_start));
+  StoreU16(page + kHeaderBytes + slot * kSlotBytes + 2,
+           static_cast<uint16_t>(record.size()));
+  StoreU16(page + kSlotCountOff, static_cast<uint16_t>(slot + 1));
+  StoreU16(page + kPayloadStartOff, static_cast<uint16_t>(
+                                        payload_start == kPageSize
+                                            ? 0
+                                            : payload_start));
+  guard.MarkDirty();
+  ++row_count_;
+  return Rid{guard.page_id(), slot};
+}
+
+Status TableHeap::Fetch(const Rid& rid, std::vector<sql::Value>* out) const {
+  CODES_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(rid.page));
+  const std::byte* page = guard.data();
+  if (rid.slot >= SlotCount(page)) {
+    return Status::Internal("RID slot out of range");
+  }
+  const std::byte* slot = page + kHeaderBytes + rid.slot * kSlotBytes;
+  uint16_t offset = LoadU16(slot);
+  uint16_t length = LoadU16(slot + 2);
+  if (offset + length > kPageSize) {
+    return Status::Internal("corrupt slot entry");
+  }
+  return ParseRow(reinterpret_cast<const char*>(page + offset), length, out);
+}
+
+TableHeap::Cursor::Cursor(BufferPool* pool, PageId first_page)
+    : pool_(pool), page_id_(first_page) {}
+
+bool TableHeap::Cursor::Next(sql::Row* out) {
+  while (!done_) {
+    if (!guard_.valid()) {
+      if (page_id_ == kInvalidPageId) {
+        done_ = true;
+        return false;
+      }
+      auto fetched = pool_->Fetch(page_id_);
+      if (!fetched.ok()) {
+        status_ = fetched.status();
+        done_ = true;
+        return false;
+      }
+      guard_ = std::move(*fetched);
+      slot_ = 0;
+    }
+    const std::byte* page = guard_.data();
+    if (slot_ >= SlotCount(page)) {
+      page_id_ = NextPage(page);
+      guard_.Release();
+      continue;
+    }
+    const std::byte* slot = page + kHeaderBytes + slot_ * kSlotBytes;
+    uint16_t offset = LoadU16(slot);
+    uint16_t length = LoadU16(slot + 2);
+    ++slot_;
+    Status parsed = ParseRow(reinterpret_cast<const char*>(page + offset),
+                             length, out);
+    if (!parsed.ok()) {
+      status_ = parsed;
+      done_ = true;
+      return false;
+    }
+    return true;
+  }
+  return false;
+}
+
+std::unique_ptr<sql::RowCursor> TableHeap::Scan() const {
+  return std::make_unique<Cursor>(pool_, first_page_);
+}
+
+}  // namespace codes::storage

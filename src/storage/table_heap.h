@@ -1,0 +1,79 @@
+#ifndef CODES_STORAGE_TABLE_HEAP_H_
+#define CODES_STORAGE_TABLE_HEAP_H_
+
+// Append-only slotted-page table heap. Page layout:
+//
+//   [u16 slot_count][u16 payload_start][u32 next_page]   8-byte header
+//   [u16 offset][u16 length] x slot_count                slot directory
+//   ... free space ...
+//   [record bytes]                                        payload, grows down
+//
+// Records are serialized rows (record_codec). Rows are appended in
+// insertion order and never moved, so (page, slot) RIDs are monotone with
+// insertion order — scanning pages front-to-back yields exactly the
+// in-memory backend's row order.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "sqlengine/exec_source.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace codes::storage {
+
+class TableHeap {
+ public:
+  /// Allocates the first page of a new heap.
+  static Result<TableHeap> Create(BufferPool* pool);
+
+  /// Attaches to an existing heap (from catalog metadata).
+  TableHeap(BufferPool* pool, PageId first_page, PageId last_page,
+            uint64_t row_count);
+
+  /// Appends one row; allocates a fresh page when the current tail page
+  /// cannot hold it. Fails with ResourceExhausted when the serialized row
+  /// exceeds single-page capacity.
+  Result<Rid> Append(const std::vector<sql::Value>& row);
+
+  /// Reads the row stored at `rid`.
+  Status Fetch(const Rid& rid, std::vector<sql::Value>* out) const;
+
+  PageId first_page() const { return first_page_; }
+  PageId last_page() const { return last_page_; }
+  uint64_t row_count() const { return row_count_; }
+
+  /// Largest serialized row one page can hold (header + one slot).
+  static size_t MaxRecordBytes();
+
+  /// Forward scan over all rows in insertion order. I/O errors end the
+  /// stream and are reported through status().
+  class Cursor final : public sql::RowCursor {
+   public:
+    Cursor(BufferPool* pool, PageId first_page);
+    bool Next(sql::Row* out) override;
+    Status status() const override { return status_; }
+
+   private:
+    BufferPool* pool_;
+    PageId page_id_;
+    uint32_t slot_ = 0;
+    PageGuard guard_;  ///< pin on the current page
+    Status status_ = Status::Ok();
+    bool done_ = false;
+  };
+
+  std::unique_ptr<sql::RowCursor> Scan() const;
+
+ private:
+  BufferPool* pool_;
+  PageId first_page_ = kInvalidPageId;
+  PageId last_page_ = kInvalidPageId;
+  uint64_t row_count_ = 0;
+};
+
+}  // namespace codes::storage
+
+#endif  // CODES_STORAGE_TABLE_HEAP_H_

@@ -46,6 +46,33 @@ TEST(FuzzCorpusTest, EngineBugCorpusReplaysClean) {
   }
 }
 
+TEST(FuzzCorpusTest, StorageDiffCorpusReplaysClean) {
+  // Each entry replays against the in-memory engine AND a freshly built
+  // disk-backed StorageDb twin (ReplayCorpusEntry wires the storagediff
+  // oracle automatically), pinning backend equivalence on the curated
+  // index-scan/seq-scan workloads.
+  auto entries = LoadCorpusFile(CorpusPath("storage_diff.corpus"));
+  ASSERT_TRUE(entries.ok()) << entries.status().ToString();
+  ASSERT_FALSE(entries->empty());
+
+  int max_db = 0;
+  for (const auto& entry : *entries) max_db = std::max(max_db, entry.db_index);
+  auto dbs = BuildFuzzDatabases(max_db + 1);
+
+  std::set<std::string> oracles;
+  for (const auto& entry : *entries) {
+    oracles.insert(entry.oracle);
+    auto violations = ReplayCorpusEntry(dbs, entry);
+    ASSERT_TRUE(violations.ok())
+        << "line " << entry.line << ": " << violations.status().ToString();
+    for (const auto& v : *violations) {
+      ADD_FAILURE() << "line " << entry.line << " [" << entry.sql << "] "
+                    << OracleName(v.oracle) << ": " << v.detail;
+    }
+  }
+  EXPECT_TRUE(oracles.count("storagediff"));
+}
+
 TEST(FuzzCorpusTest, CorpusCoversEveryFixedBugOracle) {
   // The corpus must keep exercising each oracle family that has caught a
   // real bug, so an accidental truncation of the file is loud.

@@ -25,6 +25,10 @@
 #include "dataset/benchmark_builder.h"
 #include "sqlengine/executor.h"
 #include "sqlengine/parser.h"
+#include "storage/btree.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/storage_db.h"
 
 namespace codes {
 namespace {
@@ -462,6 +466,114 @@ TEST_F(FailpointTest, FailStatusNamesTheSite) {
   EXPECT_NE(s.message().find("classifier.score"), std::string::npos);
 }
 
+// ------------------------------------------------------ storage failpoints
+
+class StorageFailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Failpoints::Clear(); }
+};
+
+TEST_F(StorageFailpointTest, PageReadFaultSurfacesAsCleanQueryError) {
+  // A tiny pool and a multi-page heap guarantee the scan reaches the disk
+  // layer (a pool large enough to cache every page would never evaluate
+  // the page-read failpoint).
+  auto db = MakeWideDb(2000);
+  auto built = storage::StorageDb::CreateInMemoryFrom(db, /*pool_frames=*/2);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  ASSERT_GT((*built)->disk().page_count(), 2u);
+  ASSERT_TRUE(Failpoints::Configure("storage.page_read=prob:1", 9).ok());
+  {
+    FailpointScope scope(1);
+    auto result = sql::ExecuteSql(**built, "SELECT n FROM nums");
+    ASSERT_FALSE(result.ok()) << "every page read faulted; query cannot run";
+    EXPECT_NE(result.status().message().find("storage.page_read"),
+              std::string::npos);
+  }
+  // Disarmed, the same StorageDb serves the query normally — a faulted
+  // read corrupts nothing.
+  Failpoints::Clear();
+  auto retry = sql::ExecuteSql(**built, "SELECT n FROM nums");
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  EXPECT_EQ(retry->NumRows(), 2000u);
+}
+
+TEST_F(StorageFailpointTest, EvictionWriteBackFaultNeverDropsDirtyPage) {
+  auto disk = storage::DiskManager::CreateInMemory();
+  for (int i = 0; i < 2; ++i) ASSERT_TRUE(disk->Allocate().ok());
+  storage::BufferPool pool(disk.get(), 1);
+  {
+    auto g = pool.Fetch(0);
+    ASSERT_TRUE(g.ok());
+    g->data()[7] = std::byte{0x42};
+    g->MarkDirty();
+  }
+  ASSERT_TRUE(Failpoints::Configure("storage.evict=oneshot", 9).ok());
+  FailpointScope scope(2);
+  // Evicting the dirty page 0 needs a write-back, which faults: the fetch
+  // of page 1 fails and the victim must stay resident, still dirty.
+  auto blocked = pool.Fetch(1);
+  ASSERT_FALSE(blocked.ok());
+  EXPECT_NE(blocked.status().message().find("storage.evict"),
+            std::string::npos);
+  {
+    auto back = pool.Fetch(0);
+    ASSERT_TRUE(back.ok()) << "victim was dropped after failed write-back";
+    EXPECT_EQ(back->data()[7], std::byte{0x42});
+  }
+  // The oneshot is consumed: eviction now succeeds and the dirty bytes
+  // reach disk.
+  auto unblocked = pool.Fetch(1);
+  ASSERT_TRUE(unblocked.ok());
+  std::byte page[storage::kPageSize];
+  ASSERT_TRUE(disk->ReadPage(0, page).ok());
+  EXPECT_EQ(page[7], std::byte{0x42});
+}
+
+TEST_F(StorageFailpointTest, MidSplitFaultLeavesTreeConsistent) {
+  auto disk = storage::DiskManager::CreateInMemory();
+  storage::BufferPool pool(disk.get(), 16);
+  storage::BPlusTree tree(&pool);
+  // Fill one leaf close to overflow with fat text keys, fault-free.
+  int inserted = 0;
+  for (; inserted < 60; ++inserted) {
+    sql::Value key("k" + std::string(100, 'p') + std::to_string(inserted));
+    ASSERT_TRUE(tree.Insert(key, storage::Rid{0, 0}).ok());
+  }
+  ASSERT_TRUE(Failpoints::Configure("storage.split=prob:1", 9).ok());
+  FailpointScope scope(3);
+  // Keep inserting until a split is needed; that insert must fail with the
+  // injected error BEFORE any page is mutated.
+  int failed_at = -1;
+  for (int i = inserted; i < 200; ++i) {
+    sql::Value key("k" + std::string(100, 'p') + std::to_string(i));
+    Status s = tree.Insert(key, storage::Rid{0, 0});
+    if (!s.ok()) {
+      EXPECT_NE(s.message().find("storage.split"), std::string::npos);
+      failed_at = i;
+      break;
+    }
+    ++inserted;
+  }
+  ASSERT_GE(failed_at, 0) << "no split triggered within 200 inserts";
+  Failpoints::Clear();
+
+  // Error-before-mutation: the tree holds exactly the successful inserts,
+  // iterates cleanly, and the failed key is absent — and can be inserted
+  // now that the fault is gone.
+  auto count = tree.CountEntries();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, static_cast<uint64_t>(inserted));
+  sql::Value failed_key("k" + std::string(100, 'p') +
+                        std::to_string(failed_at));
+  auto contains = tree.Contains(failed_key, storage::Rid{0, 0});
+  ASSERT_TRUE(contains.ok());
+  EXPECT_FALSE(*contains);
+  ASSERT_TRUE(tree.Insert(failed_key, storage::Rid{0, 0}).ok());
+  auto after = tree.CountEntries();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*after, static_cast<uint64_t>(inserted + 1));
+}
+
 // ------------------------------------------------------------ parser depth
 
 TEST(ParserDepthTest, DeeplyNestedParensRejectedShallowAccepted) {
@@ -755,6 +867,29 @@ TEST_F(LadderTest, ChaosReportsAreThreadCountInvariant) {
   for (size_t i = 0; i < serial.size(); ++i) {
     EXPECT_EQ(serial[i], parallel[i]) << "diverged at dev sample " << i;
   }
+}
+
+TEST_F(LadderTest, StorageFaultsDoNotPerturbServing) {
+  // The serving path executes against the in-memory Database, so armed
+  // storage.* sites must not fire, degrade, or change the served SQL —
+  // storage faults stay confined to the storage layer.
+  const auto& sample = bench_->dev.front();
+  ServeReport clean;
+  std::string clean_sql =
+      pipeline_->PredictGuarded(*bench_, sample, ServeOptions(), &clean);
+  ASSERT_TRUE(Failpoints::Configure(
+                  "storage.page_read=prob:1;storage.evict=prob:1;"
+                  "storage.split=prob:1",
+                  9)
+                  .ok());
+  ServeReport faulted;
+  std::string faulted_sql =
+      pipeline_->PredictGuarded(*bench_, sample, ServeOptions(), &faulted);
+  EXPECT_EQ(clean_sql, faulted_sql);
+  EXPECT_EQ(clean.ToString(), faulted.ToString());
+  EXPECT_EQ(Failpoints::FiredCount(FailpointSite::kStoragePageRead), 0u);
+  EXPECT_EQ(Failpoints::FiredCount(FailpointSite::kStorageEvict), 0u);
+  EXPECT_EQ(Failpoints::FiredCount(FailpointSite::kStorageSplit), 0u);
 }
 
 TEST_F(LadderTest, BackoffScheduleIsCappedExponential) {
