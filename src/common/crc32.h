@@ -1,0 +1,53 @@
+#ifndef CODES_COMMON_CRC32_H_
+#define CODES_COMMON_CRC32_H_
+
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over a byte range.
+// Used by the storage layer to detect torn page writes and bit rot: the
+// checksum of every page and WAL record is verified on read, so corrupt
+// bytes surface as a typed kDataLoss status instead of garbage rows. A
+// plain table-driven implementation is plenty — checksumming an 8 KiB
+// page costs ~2 us, far below the I/O it guards.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace codes {
+
+namespace internal {
+
+/// The 256-entry CRC table, built once at first use (constant thereafter;
+/// safe under concurrent initialization per C++11 static semantics).
+inline const uint32_t* Crc32Table() {
+  static const auto table = [] {
+    struct T {
+      uint32_t e[256];
+    } t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t.e[i] = c;
+    }
+    return t;
+  }();
+  return table.e;
+}
+
+}  // namespace internal
+
+/// CRC-32 of `size` bytes at `data`. `seed` chains incremental computation:
+/// Crc32(b, nb, Crc32(a, na)) == Crc32(concat(a, b), na + nb).
+inline uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0) {
+  const uint32_t* table = internal::Crc32Table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = ~seed;
+  for (size_t i = 0; i < size; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return ~c;
+}
+
+}  // namespace codes
+
+#endif  // CODES_COMMON_CRC32_H_

@@ -14,7 +14,8 @@ namespace {
 constexpr const char* kSiteNames[kNumFailpointSites] = {
     "classifier.score", "value_retriever.build_index", "bm25.lookup",
     "executor.step",    "lm.decode",                   "storage.page_read",
-    "storage.evict",    "storage.split",
+    "storage.evict",    "storage.split",               "storage.sync",
+    "storage.wal.sync", "storage.torn_write",
 };
 
 /// Registry state. Specs are written only during configure-then-run setup;

@@ -19,6 +19,11 @@ namespace codes {
 ///   storage.page_read            disk page read into the buffer pool
 ///   storage.evict                dirty-page write-back during eviction
 ///   storage.split                B+ tree node split
+///   storage.sync                 data-file durability barrier (fdatasync)
+///   storage.wal.sync             WAL group-flush durability barrier
+///   storage.torn_write           page write persists only a prefix (the
+///                                write itself reports success; the tear
+///                                surfaces later as a checksum kDataLoss)
 ///
 /// Sites are compiled in unconditionally; when no failpoint is configured
 /// the per-site check is one relaxed atomic load.
@@ -31,6 +36,9 @@ enum class FailpointSite : int {
   kStoragePageRead,
   kStorageEvict,
   kStorageSplit,
+  kStorageSync,
+  kStorageWalSync,
+  kStorageTornWrite,
   kNumSites,  // sentinel
 };
 

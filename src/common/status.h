@@ -30,6 +30,9 @@ enum class StatusCode {
   kTimeout,            ///< a wall-clock deadline expired mid-operation.
   kCancelled,          ///< a CancelToken was triggered (possibly remotely).
   kResourceExhausted,  ///< a row/byte/depth budget was exceeded.
+  kDataLoss,           ///< persisted bytes failed verification (torn write,
+                       ///< bit rot, checksum mismatch). Unlike kInternal,
+                       ///< retrying cannot help: the medium lied.
 };
 
 /// Returns a short human-readable name for `code` (e.g. "ParseError").
@@ -72,6 +75,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

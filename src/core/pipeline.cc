@@ -391,6 +391,12 @@ std::string CodesPipeline::PredictGuarded(const Text2SqlBenchmark& bench,
   // of beam candidates, including any backoff sleeps).
   CODES_TRACE_SPAN(verify_span, "pipeline.verify");
 
+  // Verification backend: the in-memory database, or the caller-provided
+  // twin (e.g. a disk-backed StorageDb whose kDataLoss reads must land on
+  // a ladder rung, not in the response).
+  const sql::ExecSource& verify_db =
+      options.verify_source != nullptr ? *options.verify_source : db;
+
   // Ladder rung 3: walk the beam in rank order and serve the first
   // candidate that decodes and executes under the guard. Every failed
   // candidate is one bounded repair attempt; with no faults and no budgets
@@ -422,7 +428,7 @@ std::string CodesPipeline::PredictGuarded(const Text2SqlBenchmark& bench,
       // Row/byte budgets are per-candidate; the deadline keeps running
       // across the whole request.
       guard.ResetUsage();
-      exec_status = sql::ExecuteSql(db, sql, &guard).status();
+      exec_status = sql::ExecuteSql(verify_db, sql, &guard).status();
     }
     if (exec_status.ok()) {
       if (attempts > 0) rep.AddRung(ServeRung::kRepair);

@@ -16,6 +16,7 @@
 #include "prompt/prompt_builder.h"
 #include "retrieval/demonstration_retriever.h"
 #include "retrieval/value_retriever.h"
+#include "sqlengine/exec_source.h"
 
 namespace codes {
 
@@ -73,6 +74,15 @@ struct ServeOptions {
   /// base * 2^(k-1) ms, capped. Base 0 (default) never sleeps.
   double backoff_base_ms = 0.0;
   double backoff_cap_ms = 8.0;
+
+  /// When set, candidate verification executes against this backend
+  /// instead of the benchmark's in-memory database (prompt construction
+  /// and the emergency query still use the in-memory one). This is how a
+  /// disk-backed twin plugs into serving: a corrupted page surfaces as a
+  /// kDataLoss execution failure, the candidate is treated as broken, and
+  /// the request walks the degradation ladder (repair → unverified
+  /// fallback) instead of returning garbage rows. Must outlive the call.
+  const sql::ExecSource* verify_source = nullptr;
 
   // --- Overload-protection overrides (set by the serving front end;
   // src/serve/) -------------------------------------------------------

@@ -9,9 +9,10 @@ namespace codes::storage {
 
 namespace {
 
-// Node page layout: a 16-byte header followed by length-prefixed entries
-// packed sequentially (nodes are rewritten wholesale on mutation, so no
-// slot directory is needed):
+// Node page layout: the node region starts after the physical page header
+// (checksum/LSN, page.h) with a 16-byte node header followed by
+// length-prefixed entries packed sequentially (nodes are rewritten
+// wholesale on mutation, so no slot directory is needed):
 //   [u8 type][u8 pad][u16 count][u32 next_leaf][u32 leftmost_child][u32 pad]
 //   ([u16 len][entry bytes]) x count
 // Leaf entry:      serialized key Value || rid.page u32 || rid.slot u32
@@ -20,6 +21,8 @@ namespace {
 // i's subtree at the time it was created (a "low fence"), so routing never
 // needs fence updates when new maxima are inserted.
 constexpr size_t kNodeHeader = 16;
+/// Bytes a node may occupy: everything past the physical page header.
+constexpr size_t kNodeCapacity = kPageSize - kPageHeaderBytes;
 constexpr uint8_t kLeafType = 1;
 constexpr uint8_t kInternalType = 2;
 
@@ -109,7 +112,7 @@ size_t NodeBytes(const BPlusTree::Node& node) {
 
 Status LoadNode(BufferPool* pool, PageId id, BPlusTree::Node* node) {
   CODES_ASSIGN_OR_RETURN(PageGuard guard, pool->Fetch(id));
-  const std::byte* p = guard.data();
+  const std::byte* p = guard.data() + kPageHeaderBytes;
   uint8_t type = static_cast<uint8_t>(p[0]);
   if (type != kLeafType && type != kInternalType) {
     return Status::Internal("corrupt index node " + std::to_string(id));
@@ -122,10 +125,14 @@ Status LoadNode(BufferPool* pool, PageId id, BPlusTree::Node* node) {
   node->entries.reserve(count);
   size_t pos = kNodeHeader;
   for (uint16_t i = 0; i < count; ++i) {
-    if (pos + 2 > kPageSize) return Status::Internal("corrupt index node");
+    if (pos + 2 > kNodeCapacity) {
+      return Status::Internal("corrupt index node");
+    }
     uint16_t len = LoadU16(p + pos);
     pos += 2;
-    if (pos + len > kPageSize) return Status::Internal("corrupt index node");
+    if (pos + len > kNodeCapacity) {
+      return Status::Internal("corrupt index node");
+    }
     node->entries.emplace_back(reinterpret_cast<const char*>(p + pos), len);
     pos += len;
   }
@@ -133,11 +140,13 @@ Status LoadNode(BufferPool* pool, PageId id, BPlusTree::Node* node) {
 }
 
 Status StoreNodeInto(PageGuard* guard, const BPlusTree::Node& node) {
-  if (NodeBytes(node) > kPageSize) {
+  if (NodeBytes(node) > kNodeCapacity) {
     return Status::Internal("index node overflow");
   }
-  std::byte* p = guard->data();
-  std::memset(p, 0, kPageSize);
+  // Clear the node region only: the physical page header (checksum, LSN)
+  // belongs to the disk manager / WAL layer and must survive rewrites.
+  std::byte* p = guard->data() + kPageHeaderBytes;
+  std::memset(p, 0, kNodeCapacity);
   p[0] = static_cast<std::byte>(node.leaf ? kLeafType : kInternalType);
   StoreU16(p + 2, static_cast<uint16_t>(node.entries.size()));
   StoreU32(p + 4, node.next);
@@ -248,7 +257,7 @@ Status BPlusTree::InsertRec(PageId node_id, const std::string& leaf_entry,
       if (cmp > 0) break;
     }
     node.entries.insert(node.entries.begin() + pos, leaf_entry);
-    if (NodeBytes(node) <= kPageSize) {
+    if (NodeBytes(node) <= kNodeCapacity) {
       return StoreNode(pool_, node_id, node);
     }
     if (Failpoints::ShouldFail(FailpointSite::kStorageSplit)) {
@@ -280,7 +289,7 @@ Status BPlusTree::InsertRec(PageId node_id, const std::string& leaf_entry,
   node.entries.insert(
       node.entries.begin() + pos + 1,
       MakeInternalEntry(child_outcome.fence, child_outcome.right));
-  if (NodeBytes(node) <= kPageSize) {
+  if (NodeBytes(node) <= kNodeCapacity) {
     return StoreNode(pool_, node_id, node);
   }
   if (Failpoints::ShouldFail(FailpointSite::kStorageSplit)) {
@@ -366,7 +375,7 @@ Status BPlusTree::RebalanceChild(Node* parent, PageId parent_id,
     std::string sib_fence = FenceOf(parent->entries[sib_pos]);
     size_t merge_extra = child.leaf ? 0 : 2 + sib_fence.size() + 4;
     if (NodeBytes(child) + (NodeBytes(sib) - kNodeHeader) + merge_extra <=
-        kPageSize) {
+        kNodeCapacity) {
       // Merge sibling into child; the sibling's page is abandoned (the
       // file has no free list — space is reclaimed only by a rebuild).
       if (!child.leaf) {
@@ -401,7 +410,7 @@ Status BPlusTree::RebalanceChild(Node* parent, PageId parent_id,
   std::string child_fence = FenceOf(parent->entries[child_pos]);
   size_t merge_extra = child.leaf ? 0 : 2 + child_fence.size() + 4;
   if (NodeBytes(sib) + (NodeBytes(child) - kNodeHeader) + merge_extra <=
-      kPageSize) {
+      kNodeCapacity) {
     // Merge child into the left sibling.
     if (!child.leaf) {
       sib.entries.push_back(MakeInternalEntry(child_fence, child.leftmost));

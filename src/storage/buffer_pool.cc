@@ -86,12 +86,23 @@ Result<int> BufferPool::AcquireFrameLocked() {
   for (size_t i = 0; i < frames_.size(); ++i) {
     const Frame& f = frames_[i];
     if (f.pin_count > 0) continue;
+    // No-steal: an unlogged (or logged-but-unflushed) dirty frame holds
+    // uncommitted bytes; writing it to the data file would require undo
+    // logging. It simply cannot be a victim until the next commit.
+    if (wal_ != nullptr && f.dirty &&
+        (f.lsn == 0 || f.lsn > wal_->durable_lsn())) {
+      continue;
+    }
     if (victim < 0 || f.last_unpin < frames_[victim].last_unpin) {
       victim = static_cast<int>(i);
     }
   }
   if (victim < 0) {
-    return Status::ResourceExhausted("buffer pool: all frames pinned");
+    return Status::ResourceExhausted(
+        wal_ != nullptr
+            ? "buffer pool: all frames pinned or dirty-uncommitted "
+              "(batch touches more pages than the pool holds)"
+            : "buffer pool: all frames pinned");
   }
   Frame& f = frames_[victim];
   if (f.dirty) {
@@ -103,6 +114,7 @@ Result<int> BufferPool::AcquireFrameLocked() {
   }
   page_table_.erase(f.id);
   f.id = kInvalidPageId;
+  f.lsn = 0;
   ++evictions_;
   EvictionCounter().Increment();
   return victim;
@@ -130,6 +142,9 @@ Result<PageGuard> BufferPool::Fetch(PageId id) {
   f.id = id;
   f.pin_count = 1;
   f.dirty = false;
+  // A clean page read from disk carries its last logged LSN in the
+  // header; should it be re-dirtied, SetDirty resets this to 0.
+  f.lsn = LoadU64(f.data.get() + kPageLsnOff);
   page_table_[id] = frame;
   return PageGuard(this, frame, id);
 }
@@ -148,6 +163,7 @@ Result<PageGuard> BufferPool::NewPage() {
   f.id = id;
   f.pin_count = 1;
   f.dirty = true;
+  f.lsn = 0;
   page_table_[id] = frame;
   return PageGuard(this, frame, id);
 }
@@ -156,8 +172,37 @@ Status BufferPool::FlushAll() {
   std::lock_guard<std::mutex> lock(mu_);
   for (Frame& f : frames_) {
     if (f.id == kInvalidPageId || !f.dirty) continue;
+    if (wal_ != nullptr && (f.lsn == 0 || f.lsn > wal_->durable_lsn())) {
+      // Uncommitted frame: flushing it would violate WAL-before-data.
+      continue;
+    }
     CODES_RETURN_IF_ERROR(disk_->WritePage(f.id, f.data.get()));
     f.dirty = false;
+  }
+  return Status::Ok();
+}
+
+void BufferPool::AttachWal(Wal* wal) {
+  std::lock_guard<std::mutex> lock(mu_);
+  wal_ = wal;
+}
+
+Status BufferPool::CommitDirtyToWal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wal_ == nullptr) {
+    return Status::Internal("CommitDirtyToWal without an attached WAL");
+  }
+  for (Frame& f : frames_) {
+    if (f.id == kInvalidPageId || !f.dirty || f.lsn != 0) continue;
+    // Stamp the (known-next) LSN into the page header BEFORE appending,
+    // so the logged image carries its own LSN and a page read back after
+    // replay reports the record that produced it. The checksum field is
+    // left alone — WritePage stamps it at write-back time.
+    Lsn lsn = wal_->last_appended_lsn() + 1;
+    StoreU64(f.data.get() + kPageLsnOff, lsn);
+    CODES_ASSIGN_OR_RETURN(Lsn got, wal_->AppendPageImage(f.id, f.data.get()));
+    CODES_CHECK(got == lsn);
+    f.lsn = lsn;
   }
   return Status::Ok();
 }
@@ -173,6 +218,9 @@ void BufferPool::Unpin(int frame) {
 void BufferPool::SetDirty(int frame) {
   std::lock_guard<std::mutex> lock(mu_);
   frames_[frame].dirty = true;
+  // Re-dirtying invalidates any previously logged image of this page: the
+  // frame must be re-logged before it is evictable again (no-steal).
+  frames_[frame].lsn = 0;
 }
 
 size_t BufferPool::pinned_frames() const {

@@ -15,6 +15,15 @@
 // Eviction: least-recently-unpinned frame; a dirty victim is written back
 // first (never dropped — write-back failure fails the fetch and leaves the
 // victim resident). storage.evict injects write-back faults.
+//
+// WAL-before-data (no-steal): when a Wal is attached, a dirty frame whose
+// latest mutation has not been logged AND group-flushed (frame LSN 0, or
+// frame LSN > Wal::durable_lsn) is never an eviction victim — uncommitted
+// bytes cannot reach the data file, which is what makes page-image redo
+// records sufficient (no undo). CommitDirtyToWal is the logging half:
+// it appends one page-image record per unlogged dirty frame and stamps
+// the assigned LSN both into the frame bookkeeping and into the page's
+// physical header.
 
 #include <cstdint>
 #include <memory>
@@ -25,6 +34,7 @@
 #include "common/status.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
+#include "storage/wal.h"
 
 namespace codes::storage {
 
@@ -77,8 +87,20 @@ class BufferPool {
   /// Allocates a fresh zeroed page, pinned and already marked dirty.
   Result<PageGuard> NewPage();
 
-  /// Writes every dirty resident page back to disk.
+  /// Writes every dirty resident page back to disk. With a Wal attached,
+  /// unlogged dirty frames are skipped (writing them would break the
+  /// WAL-before-data rule); callers that need a full flush commit first.
   Status FlushAll();
+
+  /// Attaches the write-ahead log, switching eviction to no-steal.
+  void AttachWal(Wal* wal);
+
+  /// Appends a page-image redo record for every dirty frame whose latest
+  /// mutation is unlogged, stamping the assigned LSN into the frame and
+  /// into the page header bytes. The records are buffered in the Wal;
+  /// the caller follows up with Wal::Sync() (group flush) to make them —
+  /// and thereby the frames — durable and evictable.
+  Status CommitDirtyToWal();
 
   size_t num_frames() const { return frames_.size(); }
 
@@ -98,6 +120,7 @@ class BufferPool {
     int pin_count = 0;
     bool dirty = false;
     uint64_t last_unpin = 0;  ///< LRU clock value at last pin drop
+    Lsn lsn = 0;  ///< LSN of the frame's last logged image; 0 = unlogged
   };
 
   void Unpin(int frame);
@@ -107,6 +130,7 @@ class BufferPool {
   Result<int> AcquireFrameLocked();
 
   DiskManager* disk_;
+  Wal* wal_ = nullptr;  ///< optional; non-null enables no-steal eviction
   mutable std::mutex mu_;
   std::vector<Frame> frames_;
   std::vector<int> free_frames_;

@@ -22,6 +22,29 @@ inline constexpr size_t kPageSize = 8192;
 using PageId = uint32_t;
 inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
 
+/// Log sequence number. LSN 0 means "never logged" (pages written outside
+/// any WAL, e.g. during bulk load); real LSNs start at 1.
+using Lsn = uint64_t;
+
+// ------------------------------------------------------- physical header
+// Every page begins with a 16-byte physical header owned by the disk
+// manager / WAL layer, invisible to the structures above it (table heap,
+// B+ tree, catalog all address their bytes relative to kPageHeaderBytes):
+//
+//   [u32 checksum][u32 flags][u64 lsn]
+//
+// The checksum is CRC-32 over bytes [4, kPageSize) — everything except
+// the checksum field itself — stamped by DiskManager::WritePage and
+// verified by ReadPage. An all-zero page is also accepted as valid
+// (freshly allocated, never written), which works because CRC32 of a
+// non-empty zero buffer is nonzero: a torn write can't masquerade as an
+// unallocated page unless it tore to *exactly* all zeroes, in which case
+// it is indistinguishable from unallocated by construction.
+inline constexpr size_t kPageChecksumOff = 0;
+inline constexpr size_t kPageFlagsOff = 4;
+inline constexpr size_t kPageLsnOff = 8;
+inline constexpr size_t kPageHeaderBytes = 16;
+
 /// Physical row locator: (heap page, slot within the page). RIDs are
 /// assigned monotonically by append order, so sorting RIDs recovers
 /// insertion order — the property index scans rely on to match the

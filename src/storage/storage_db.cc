@@ -5,13 +5,16 @@
 #include <cstring>
 #include <utility>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "storage/record_codec.h"
 
 namespace codes::storage {
 
 namespace {
 
-// Catalog chain layout. Page 0:
+// Catalog chain layout (offsets relative to the end of the physical page
+// header, page.h). Page 0:
 //   [u32 magic][u32 next_page][u32 chunk_len][chunk bytes]
 // Continuation pages:
 //   [u32 next_page][u32 chunk_len][chunk bytes]
@@ -19,6 +22,37 @@ constexpr uint32_t kCatalogMagic = 0x53444331;  // "1CDS"
 constexpr PageId kCatalogPageId = 0;
 constexpr size_t kHeadHeaderBytes = 12;
 constexpr size_t kContHeaderBytes = 8;
+
+Counter& RecoveryRunsCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().GetCounter("storage.recovery.runs");
+  return c;
+}
+Counter& RecoverySeenCounter() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "storage.recovery.wal_records_seen");
+  return c;
+}
+Counter& RecoveryReplayedCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().GetCounter("storage.recovery.replayed");
+  return c;
+}
+Counter& RecoveryDiscardedCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().GetCounter("storage.recovery.discarded");
+  return c;
+}
+Counter& CheckpointCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().GetCounter("storage.checkpoints");
+  return c;
+}
+Counter& CommitCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().GetCounter("storage.wal.commits");
+  return c;
+}
 
 uint32_t ValueClassToU32(sql::ColumnIndexStats::ValueClass vc) {
   return static_cast<uint32_t>(vc);
@@ -210,6 +244,26 @@ Result<std::unique_ptr<StorageDb>> StorageDb::CreateInMemoryFrom(
   return CreateFrom(src, DiskManager::CreateInMemory(), pool_frames);
 }
 
+Result<std::unique_ptr<StorageDb>> StorageDb::CreateSimFrom(
+    const sql::ExecSource& src, SimEnv* env, const std::string& name,
+    size_t pool_frames) {
+  CODES_ASSIGN_OR_RETURN(std::unique_ptr<DiskManager> disk,
+                         DiskManager::OpenSim(env, name));
+  CODES_ASSIGN_OR_RETURN(std::unique_ptr<StorageDb> db,
+                         CreateFrom(src, std::move(disk), pool_frames));
+  // CreateFrom flushed and synced, so an empty WAL is consistent; the
+  // checkpoint below stamps that fact into the log.
+  CODES_ASSIGN_OR_RETURN(db->wal_, Wal::OpenSim(env, name + ".wal"));
+  if (db->wal_->size_bytes() != 0) {
+    return Status::InvalidArgument("CreateSimFrom over a non-empty WAL");
+  }
+  db->pool_->AttachWal(db->wal_.get());
+  CODES_ASSIGN_OR_RETURN(Lsn lsn, db->wal_->AppendCheckpoint());
+  (void)lsn;
+  CODES_RETURN_IF_ERROR(db->wal_->Sync());
+  return db;
+}
+
 Result<std::unique_ptr<StorageDb>> StorageDb::Open(const std::string& path,
                                                    size_t pool_frames) {
   CODES_ASSIGN_OR_RETURN(std::unique_ptr<DiskManager> disk,
@@ -224,9 +278,184 @@ Result<std::unique_ptr<StorageDb>> StorageDb::Open(const std::string& path,
   return db;
 }
 
+Status StorageDb::Recover(DiskManager* disk, Wal* wal) {
+  CODES_TRACE_SPAN(span, "storage.recovery.replay");
+  RecoveryRunsCounter().Increment();
+  CODES_ASSIGN_OR_RETURN(Wal::ScanResult scan, wal->ReadAll());
+  const uint64_t seen = scan.records.size() + scan.torn_tail_records;
+  RecoverySeenCounter().Increment(seen);
+
+  // The committed prefix ends at the last commit/checkpoint marker; page
+  // images after it belong to a batch whose commit never became durable.
+  size_t end = 0;  // one past the last marker
+  for (size_t i = 0; i < scan.records.size(); ++i) {
+    if (scan.records[i].type == WalRecordType::kCommit ||
+        scan.records[i].type == WalRecordType::kCheckpoint) {
+      end = i + 1;
+    }
+  }
+  uint64_t replayed = 0;
+  for (size_t i = 0; i < end; ++i) {
+    const WalRecord& rec = scan.records[i];
+    if (rec.type == WalRecordType::kPageImage) {
+      if (rec.payload.size() != kPageSize) {
+        return Status::DataLoss("WAL page image of wrong size");
+      }
+      CODES_RETURN_IF_ERROR(
+          disk->EnsurePageCount(static_cast<size_t>(rec.page) + 1));
+      CODES_RETURN_IF_ERROR(disk->WritePage(rec.page, rec.payload.data()));
+    }
+    ++replayed;
+  }
+  const uint64_t discarded =
+      (scan.records.size() - end) + scan.torn_tail_records;
+  RecoveryReplayedCounter().Increment(replayed);
+  RecoveryDiscardedCounter().Increment(discarded);
+
+  // Materialize the recovered state and reset the log so a crash during
+  // (or right after) recovery re-runs it from an equally valid prefix —
+  // replay is idempotent page-image overwriting either way.
+  CODES_RETURN_IF_ERROR(disk->Sync());
+  CODES_RETURN_IF_ERROR(wal->Truncate());
+  CODES_ASSIGN_OR_RETURN(Lsn lsn, wal->AppendCheckpoint());
+  (void)lsn;
+  CODES_RETURN_IF_ERROR(wal->Sync());
+  CheckpointCounter().Increment();
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<StorageDb>> StorageDb::OpenWithWalImpl(
+    std::unique_ptr<DiskManager> disk, std::unique_ptr<Wal> wal,
+    size_t pool_frames) {
+  CODES_RETURN_IF_ERROR(Recover(disk.get(), wal.get()));
+  if (disk->page_count() == 0) {
+    return Status::InvalidArgument("database file has no catalog page");
+  }
+  std::unique_ptr<StorageDb> db(new StorageDb);
+  db->disk_ = std::move(disk);
+  db->wal_ = std::move(wal);
+  db->pool_ = std::make_unique<BufferPool>(db->disk_.get(), pool_frames);
+  db->pool_->AttachWal(db->wal_.get());
+  CODES_RETURN_IF_ERROR(db->ReadCatalog());
+  return db;
+}
+
+Result<std::unique_ptr<StorageDb>> StorageDb::OpenWithWal(
+    const std::string& path, const std::string& wal_path,
+    size_t pool_frames) {
+  CODES_ASSIGN_OR_RETURN(std::unique_ptr<DiskManager> disk,
+                         DiskManager::Open(path));
+  CODES_ASSIGN_OR_RETURN(std::unique_ptr<Wal> wal, Wal::Open(wal_path));
+  return OpenWithWalImpl(std::move(disk), std::move(wal), pool_frames);
+}
+
+Result<std::unique_ptr<StorageDb>> StorageDb::OpenSim(SimEnv* env,
+                                                      const std::string& name,
+                                                      size_t pool_frames) {
+  CODES_ASSIGN_OR_RETURN(std::unique_ptr<DiskManager> disk,
+                         DiskManager::OpenSim(env, name));
+  CODES_ASSIGN_OR_RETURN(std::unique_ptr<Wal> wal,
+                         Wal::OpenSim(env, name + ".wal"));
+  return OpenWithWalImpl(std::move(disk), std::move(wal), pool_frames);
+}
+
+Status StorageDb::EnableWal(const std::string& wal_path) {
+  if (wal_ != nullptr) {
+    return Status::InvalidArgument("WAL already attached");
+  }
+  CODES_RETURN_IF_ERROR(Flush());
+  CODES_ASSIGN_OR_RETURN(std::unique_ptr<Wal> wal, Wal::Open(wal_path));
+  if (wal->size_bytes() != 0) {
+    return Status::InvalidArgument(
+        "EnableWal over a non-empty log; use OpenWithWal to recover it");
+  }
+  wal_ = std::move(wal);
+  pool_->AttachWal(wal_.get());
+  CODES_ASSIGN_OR_RETURN(Lsn lsn, wal_->AppendCheckpoint());
+  (void)lsn;
+  return wal_->Sync();
+}
+
 Status StorageDb::Flush() {
   CODES_RETURN_IF_ERROR(pool_->FlushAll());
-  return disk_->Flush();
+  return disk_->Sync();
+}
+
+Status StorageDb::AppendRows(int table_index,
+                             const std::vector<sql::Row>& rows) {
+  if (table_index < 0 || table_index >= static_cast<int>(tables_.size())) {
+    return Status::InvalidArgument("AppendRows: table index out of range");
+  }
+  using VC = sql::ColumnIndexStats::ValueClass;
+  TableHeap& heap = tables_[table_index].heap;
+  const size_t width = schema_.tables[table_index].columns.size();
+  for (const sql::Row& row : rows) {
+    if (row.size() != width) {
+      return Status::InvalidArgument("AppendRows: row arity mismatch");
+    }
+    CODES_ASSIGN_OR_RETURN(Rid rid, heap.Append(row));
+    for (size_t c = 0; c < width; ++c) {
+      auto it = index_lookup_.find(IndexKey(table_index, static_cast<int>(c)));
+      if (it == index_lookup_.end()) continue;
+      size_t position = it->second;
+      IndexInfo& info = indexes_[position];
+      ObserveValue(row[c], &info.stats);
+      if (info.stats.value_class == VC::kMixed) {
+        // The column no longer has a total order the tree can maintain.
+        DropIndex(position);
+        continue;
+      }
+      if (row[c].is_null()) continue;
+      BPlusTree tree(pool_.get(), info.root);
+      if (info.stats.unique && info.root != kInvalidPageId) {
+        // A single equal-key probe keeps the uniqueness bit honest
+        // without a full-index rescan per batch.
+        CODES_ASSIGN_OR_RETURN(BPlusTree::Iterator probe, tree.Seek(row[c]));
+        if (probe.Valid() && probe.key().Compare(row[c]) == 0) {
+          info.stats.unique = false;
+        }
+      }
+      Status inserted = tree.Insert(row[c], rid);
+      if (inserted.code() == StatusCode::kInvalidArgument) {
+        DropIndex(position);  // oversized key: abandon, like CreateFrom
+        continue;
+      }
+      CODES_RETURN_IF_ERROR(inserted);
+      info.root = tree.root();
+    }
+  }
+  return Status::Ok();
+}
+
+Status StorageDb::CommitBatch() {
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument("CommitBatch without a WAL");
+  }
+  CODES_TRACE_SPAN(span, "storage.wal.commit");
+  // Catalog first so its dirty pages are part of the same logged batch.
+  CODES_RETURN_IF_ERROR(WriteCatalog());
+  CODES_RETURN_IF_ERROR(pool_->CommitDirtyToWal());
+  CODES_ASSIGN_OR_RETURN(Lsn lsn, wal_->AppendCommit());
+  (void)lsn;
+  CODES_RETURN_IF_ERROR(wal_->Sync());
+  CommitCounter().Increment();
+  return Status::Ok();
+}
+
+Status StorageDb::Checkpoint() {
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument("Checkpoint without a WAL");
+  }
+  CODES_TRACE_SPAN(span, "storage.checkpoint");
+  CODES_RETURN_IF_ERROR(CommitBatch());
+  CODES_RETURN_IF_ERROR(pool_->FlushAll());
+  CODES_RETURN_IF_ERROR(disk_->Sync());
+  CODES_RETURN_IF_ERROR(wal_->Truncate());
+  CODES_ASSIGN_OR_RETURN(Lsn lsn, wal_->AppendCheckpoint());
+  (void)lsn;
+  CODES_RETURN_IF_ERROR(wal_->Sync());
+  CheckpointCounter().Increment();
+  return Status::Ok();
 }
 
 size_t StorageDb::SourceRowCount(int table_index) const {
@@ -249,6 +478,17 @@ const StorageDb::IndexInfo* StorageDb::FindIndex(int table_index,
   auto it = index_lookup_.find(IndexKey(table_index, column_index));
   if (it == index_lookup_.end()) return nullptr;
   return &indexes_[it->second];
+}
+
+void StorageDb::DropIndex(size_t position) {
+  // The tree's pages are abandoned (no free list); the catalog rewrite at
+  // the next commit makes the drop durable.
+  indexes_.erase(indexes_.begin() + static_cast<ptrdiff_t>(position));
+  index_lookup_.clear();
+  for (size_t i = 0; i < indexes_.size(); ++i) {
+    index_lookup_[IndexKey(static_cast<int>(indexes_[i].table),
+                           static_cast<int>(indexes_[i].column))] = i;
+  }
 }
 
 bool StorageDb::IndexStats(int table_index, int column_index,
@@ -415,7 +655,7 @@ Status StorageDb::WriteCatalog() {
   bool first = true;
   for (;;) {
     const size_t header = first ? kHeadHeaderBytes : kContHeaderBytes;
-    const size_t capacity = kPageSize - header;
+    const size_t capacity = kPageSize - kPageHeaderBytes - header;
     const size_t chunk = std::min(capacity, blob.size() - pos);
     const bool more = pos + chunk < blob.size();
     PageId next = kInvalidPageId;
@@ -424,7 +664,7 @@ Status StorageDb::WriteCatalog() {
       next = fresh.page_id();
     }
     CODES_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(current));
-    std::byte* p = guard.data();
+    std::byte* p = guard.data() + kPageHeaderBytes;
     size_t off = 0;
     if (first) {
       StoreU32(p + off, kCatalogMagic);
@@ -449,7 +689,7 @@ Status StorageDb::ReadCatalog() {
   // Page-count bound makes a corrupt next-pointer cycle terminate.
   for (size_t hops = 0; hops <= disk_->page_count(); ++hops) {
     CODES_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(current));
-    const std::byte* p = guard.data();
+    const std::byte* p = guard.data() + kPageHeaderBytes;
     size_t off = 0;
     if (first) {
       if (LoadU32(p) != kCatalogMagic) {
@@ -459,7 +699,7 @@ Status StorageDb::ReadCatalog() {
     }
     PageId next = LoadU32(p + off);
     uint32_t len = LoadU32(p + off + 4);
-    if (len > kPageSize - off - 8) {
+    if (len > kPageSize - kPageHeaderBytes - off - 8) {
       return Status::Internal("corrupt catalog: chunk length");
     }
     blob.append(reinterpret_cast<const char*>(p + off + 8), len);

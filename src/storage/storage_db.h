@@ -13,8 +13,18 @@
 // cold-open cost is independent of row count — heap/index pages fault in
 // through the buffer pool on first access (a regression test pins this).
 //
-// Lifecycle contract: build (CreateFrom) is single-threaded; after the
-// catalog is written the database is read-only and every accessor —
+// Crash safety (DESIGN.md section 15): with a WAL attached, mutations are
+// batched — AppendRows stages rows in the buffer pool (no-steal: nothing
+// uncommitted reaches the data file), CommitBatch logs page images + a
+// commit marker and group-flushes the WAL, Checkpoint materializes the
+// data file and truncates the log. Open paths with a WAL run redo
+// recovery first: replay every page image up to the last commit/checkpoint
+// marker, discard the uncommitted/torn tail, checkpoint. Instrumented as
+// storage.wal.* / storage.recovery.* metrics and spans.
+//
+// Lifecycle contract: build (CreateFrom) and mutation
+// (AppendRows/CommitBatch/Checkpoint) are single-threaded; between
+// mutation batches the database is read-consistent and every accessor —
 // Scan/IndexScan/IndexStats/Materialize — is safe to call from any number
 // of threads concurrently (the buffer pool serializes frame bookkeeping).
 
@@ -29,9 +39,11 @@
 #include "sqlengine/exec_source.h"
 #include "storage/btree.h"
 #include "storage/buffer_pool.h"
+#include "storage/crash_sim.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
 #include "storage/table_heap.h"
+#include "storage/wal.h"
 
 namespace codes::storage {
 
@@ -52,13 +64,58 @@ class StorageDb : public sql::ExecSource {
   static Result<std::unique_ptr<StorageDb>> CreateInMemoryFrom(
       const sql::ExecSource& src, size_t pool_frames = kDefaultPoolFrames);
 
+  /// CreateFrom into simulated storage under `env` (crash campaigns),
+  /// WAL-enabled: the data file is `name`, the log `name + ".wal"`. The
+  /// bulk load itself is durable (synced + checkpointed) on return.
+  static Result<std::unique_ptr<StorageDb>> CreateSimFrom(
+      const sql::ExecSource& src, SimEnv* env, const std::string& name,
+      size_t pool_frames = kDefaultPoolFrames);
+
   /// Cold-opens an existing database file. Reads ONLY the catalog chain;
-  /// row data faults in lazily on first access.
+  /// row data faults in lazily on first access. No WAL: the database is
+  /// read-only in this mode.
   static Result<std::unique_ptr<StorageDb>> Open(
       const std::string& path, size_t pool_frames = kDefaultPoolFrames);
 
-  /// Writes all dirty pages back and flushes the file.
+  /// Opens `path` with its WAL at `wal_path`, running redo recovery
+  /// before the catalog is read. The returned database accepts mutation
+  /// batches.
+  static Result<std::unique_ptr<StorageDb>> OpenWithWal(
+      const std::string& path, const std::string& wal_path,
+      size_t pool_frames = kDefaultPoolFrames);
+
+  /// OpenWithWal over simulated storage (post-crash reopen in campaigns;
+  /// call env->Reboot() first). Data file `name`, log `name + ".wal"`.
+  static Result<std::unique_ptr<StorageDb>> OpenSim(
+      SimEnv* env, const std::string& name,
+      size_t pool_frames = kDefaultPoolFrames);
+
+  /// Attaches a fresh (empty) WAL to a freshly built file-backed database,
+  /// enabling mutation batches. The data file is synced first so the
+  /// empty log is trivially consistent. Fails if the log is non-empty
+  /// (that state needs OpenWithWal's recovery path instead).
+  Status EnableWal(const std::string& wal_path);
+
+  /// Writes all committed dirty pages back and syncs the file.
   Status Flush();
+
+  // --- mutation batches (WAL required except for AppendRows staging) ---
+
+  /// Appends `rows` to table `table_index`, maintaining every index and
+  /// its stats. Changes are staged in the buffer pool until CommitBatch.
+  /// A column whose new values break index ordering (mixed value classes
+  /// or oversized keys) drops its index, mirroring CreateFrom's abandon
+  /// semantics.
+  Status AppendRows(int table_index, const std::vector<sql::Row>& rows);
+
+  /// Makes every staged change durable: rewrites the catalog, logs page
+  /// images for all unlogged dirty pages, appends a commit marker, and
+  /// group-flushes the WAL. On return the batch survives any crash.
+  Status CommitBatch();
+
+  /// Materializes committed state into the data file and truncates the
+  /// WAL (bounding replay work). Implies CommitBatch for staged changes.
+  Status Checkpoint();
 
   // --- sql::ExecSource ---
   const sql::DatabaseSchema& schema() const override { return schema_; }
@@ -84,8 +141,11 @@ class StorageDb : public sql::ExecSource {
   Result<std::vector<sql::Row>> Materialize(int table_index) const;
 
   const DiskManager& disk() const { return *disk_; }
+  /// Mutable disk access for corruption-injection tests.
+  DiskManager& mutable_disk() { return *disk_; }
   const BufferPool& buffer_pool() const { return *pool_; }
   size_t index_count() const { return indexes_.size(); }
+  const Wal* wal() const { return wal_.get(); }
 
  private:
   struct TableInfo {
@@ -106,8 +166,20 @@ class StorageDb : public sql::ExecSource {
   std::string SerializeCatalog() const;
   Status ParseCatalog(const std::string& blob);
   const IndexInfo* FindIndex(int table_index, int column_index) const;
+  void DropIndex(size_t position);
+
+  /// Redo recovery: replays `wal` into `disk` up to the last commit or
+  /// checkpoint marker, discards the tail, then checkpoints (sync data,
+  /// truncate log). Runs before any catalog read.
+  static Status Recover(DiskManager* disk, Wal* wal);
+
+  /// Shared tail of the WAL-enabled open paths.
+  static Result<std::unique_ptr<StorageDb>> OpenWithWalImpl(
+      std::unique_ptr<DiskManager> disk, std::unique_ptr<Wal> wal,
+      size_t pool_frames);
 
   std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<Wal> wal_;  ///< null for read-only / legacy databases
   std::unique_ptr<BufferPool> pool_;
   sql::DatabaseSchema schema_;
   std::vector<TableInfo> tables_;

@@ -8,11 +8,15 @@ namespace codes::storage {
 
 namespace {
 
+// The heap header sits just past the physical page header (checksum/LSN,
+// page.h); all stored offsets are absolute page offsets, so the payload
+// region still grows down from kPageSize.
 constexpr size_t kHeaderBytes = 8;      // slot_count, payload_start, next
 constexpr size_t kSlotBytes = 4;        // offset, length
-constexpr size_t kSlotCountOff = 0;
-constexpr size_t kPayloadStartOff = 2;
-constexpr size_t kNextPageOff = 4;
+constexpr size_t kSlotCountOff = kPageHeaderBytes + 0;
+constexpr size_t kPayloadStartOff = kPageHeaderBytes + 2;
+constexpr size_t kNextPageOff = kPageHeaderBytes + 4;
+constexpr size_t kSlotDirOff = kPageHeaderBytes + kHeaderBytes;
 
 uint16_t SlotCount(const std::byte* page) {
   return LoadU16(page + kSlotCountOff);
@@ -38,7 +42,7 @@ size_t PayloadStartDecoded(const std::byte* page) {
 }
 
 size_t FreeBytes(const std::byte* page) {
-  size_t slots_end = kHeaderBytes + SlotCount(page) * kSlotBytes;
+  size_t slots_end = kSlotDirOff + SlotCount(page) * kSlotBytes;
   return PayloadStartDecoded(page) - slots_end;
 }
 
@@ -60,7 +64,7 @@ TableHeap::TableHeap(BufferPool* pool, PageId first_page, PageId last_page,
       row_count_(row_count) {}
 
 size_t TableHeap::MaxRecordBytes() {
-  return kPageSize - kHeaderBytes - kSlotBytes;
+  return kPageSize - kSlotDirOff - kSlotBytes;
 }
 
 Result<Rid> TableHeap::Append(const std::vector<sql::Value>& row) {
@@ -86,9 +90,9 @@ Result<Rid> TableHeap::Append(const std::vector<sql::Value>& row) {
   uint16_t slot = SlotCount(page);
   size_t payload_start = PayloadStartDecoded(page) - record.size();
   std::memcpy(page + payload_start, record.data(), record.size());
-  StoreU16(page + kHeaderBytes + slot * kSlotBytes,
+  StoreU16(page + kSlotDirOff + slot * kSlotBytes,
            static_cast<uint16_t>(payload_start));
-  StoreU16(page + kHeaderBytes + slot * kSlotBytes + 2,
+  StoreU16(page + kSlotDirOff + slot * kSlotBytes + 2,
            static_cast<uint16_t>(record.size()));
   StoreU16(page + kSlotCountOff, static_cast<uint16_t>(slot + 1));
   StoreU16(page + kPayloadStartOff, static_cast<uint16_t>(
@@ -106,7 +110,7 @@ Status TableHeap::Fetch(const Rid& rid, std::vector<sql::Value>* out) const {
   if (rid.slot >= SlotCount(page)) {
     return Status::Internal("RID slot out of range");
   }
-  const std::byte* slot = page + kHeaderBytes + rid.slot * kSlotBytes;
+  const std::byte* slot = page + kSlotDirOff + rid.slot * kSlotBytes;
   uint16_t offset = LoadU16(slot);
   uint16_t length = LoadU16(slot + 2);
   if (offset + length > kPageSize) {
@@ -140,7 +144,7 @@ bool TableHeap::Cursor::Next(sql::Row* out) {
       guard_.Release();
       continue;
     }
-    const std::byte* slot = page + kHeaderBytes + slot_ * kSlotBytes;
+    const std::byte* slot = page + kSlotDirOff + slot_ * kSlotBytes;
     uint16_t offset = LoadU16(slot);
     uint16_t length = LoadU16(slot + 2);
     ++slot_;

@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -42,22 +43,38 @@ TEST(BufferPoolStressTest, ConcurrentScansUnderEvictionPressure) {
 
   std::atomic<int> errors{0};
   auto reader = [&](int offset) {
-    // Full sequential scan, phase-shifted per thread so the hot set never
-    // fits in the pool.
-    auto cursor = heap->Scan();
-    sql::Row row;
-    int expect = 0;
-    while (cursor->Next(&row)) {
-      if (row.size() != 2 || row[0].AsInteger() != expect ||
-          row[1].AsText() != "payload-" + std::to_string(expect)) {
+    // Full sequential scan per thread so the hot set never fits in the
+    // pool. Eight scanners each hold one pin against four frames, so a
+    // scan can die of transient pin exhaustion — the documented outcome,
+    // not a bug (see ConcurrentPointFetchesReturnCorrectRows): restart it.
+    // Only wrong bytes or a non-exhaustion error count against the test.
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+      auto cursor = heap->Scan();
+      sql::Row row;
+      int expect = 0;
+      while (cursor->Next(&row)) {
+        if (row.size() != 2 || row[0].AsInteger() != expect ||
+            row[1].AsText() != "payload-" + std::to_string(expect)) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        ++expect;
+      }
+      if (cursor->status().code() == StatusCode::kResourceExhausted) {
+        // All frames momentarily pinned by sibling scans. Back off before
+        // restarting: eight spinning scanners against four frames can
+        // otherwise livelock each other indefinitely.
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(20 * (attempt % 8 + 1)));
+        continue;
+      }
+      if (!cursor->status().ok() || expect != kRows) {
         errors.fetch_add(1, std::memory_order_relaxed);
       }
-      ++expect;
+      (void)offset;
+      return;
     }
-    if (!cursor->status().ok() || expect != kRows) {
-      errors.fetch_add(1, std::memory_order_relaxed);
-    }
-    (void)offset;
+    errors.fetch_add(1, std::memory_order_relaxed);  // never completed
   };
 
   std::vector<std::thread> threads;
@@ -119,10 +136,14 @@ TEST(BufferPoolStressTest, DirtyPagesSurviveConcurrentEvictionChurn) {
 
   // Writers mark distinct pages dirty; readers churn the pool so the
   // dirty pages are repeatedly evicted (written back) and refetched.
+  // Page assignment is parity-disjoint (thread 0 even pages, thread 1 odd)
+  // so no two threads ever stamp the same page — concurrent same-page
+  // writes through separate pins would be a data race in the test itself,
+  // not the pool.
   std::atomic<int> errors{0};
   auto worker = [&](int id) {
     for (int round = 0; round < 50; ++round) {
-      PageId mine = static_cast<PageId>((id * 4 + round) % kPages);
+      PageId mine = static_cast<PageId>((round * 2 + id) % kPages);
       {
         auto g = pool.Fetch(mine);
         if (!g.ok()) {

@@ -125,17 +125,19 @@ TEST(StorageDiskManagerTest, FilePersistsPagesAcrossReopen) {
     EXPECT_EQ(*p0, 0u);
     EXPECT_EQ(*p1, 1u);
     std::byte page[kPageSize] = {};
-    page[0] = std::byte{0xAB};
+    // Bytes [0, kPageHeaderBytes) are the physical header (checksum/LSN);
+    // payload starts after it.
+    page[kPageHeaderBytes] = std::byte{0xAB};
     page[kPageSize - 1] = std::byte{0xCD};
     ASSERT_TRUE(disk->WritePage(*p1, page).ok());
-    ASSERT_TRUE(disk->Flush().ok());
+    ASSERT_TRUE(disk->Sync().ok());
   }
   auto opened = DiskManager::Open(path);
   ASSERT_TRUE(opened.ok()) << opened.status().ToString();
   EXPECT_EQ((*opened)->page_count(), 2u);
   std::byte page[kPageSize];
   ASSERT_TRUE((*opened)->ReadPage(1, page).ok());
-  EXPECT_EQ(page[0], std::byte{0xAB});
+  EXPECT_EQ(page[kPageHeaderBytes], std::byte{0xAB});
   EXPECT_EQ(page[kPageSize - 1], std::byte{0xCD});
   std::remove(path.c_str());
 }
