@@ -25,6 +25,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/serial.h"
 #include "common/status.h"
 
 namespace codes {
@@ -181,6 +182,62 @@ class StringInterner {
 
   /// Number of distinct interned strings (== the smallest unused id).
   size_t size() const { return spans_.size(); }
+
+  /// Resident cost in bytes (arena plus tables) — the figure the fleet
+  /// manager charges against its memory budget.
+  size_t ApproxBytes() const {
+    return arena_.size() + spans_.size() * sizeof(Span) +
+           hashes_.size() * sizeof(uint64_t) +
+           slots_.size() * sizeof(uint32_t);
+  }
+
+  /// Serializes the interner (arena + spans; hashes and the probe table
+  /// are derived on load). Ids are preserved exactly — callers index
+  /// parallel vectors by id, so the mapping must survive a round trip.
+  void SaveTo(std::string* out) const {
+    serial::PutString(out, arena_);
+    serial::PutU64(out, spans_.size());
+    for (const Span& span : spans_) {
+      serial::PutU64(out, span.offset);
+      serial::PutU32(out, span.length);
+    }
+  }
+
+  /// Restores from SaveTo bytes. On any malformation the interner is left
+  /// empty and false is returned.
+  bool LoadFrom(serial::Reader* reader) {
+    *this = StringInterner();
+    if (!reader->ReadString(&arena_)) return false;
+    uint64_t n = 0;
+    if (!reader->ReadU64(&n)) return false;
+    spans_.reserve(n);
+    hashes_.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      uint64_t offset = 0;
+      uint32_t length = 0;
+      if (!reader->ReadU64(&offset) || !reader->ReadU32(&length) ||
+          offset > arena_.size() || length > arena_.size() - offset) {
+        *this = StringInterner();
+        return false;
+      }
+      spans_.push_back(Span{static_cast<size_t>(offset), length});
+      hashes_.push_back(HashBytes(
+          std::string_view(arena_.data() + offset, length)));
+    }
+    // Rebuild the probe table at the same growth thresholds Intern uses.
+    if (!spans_.empty()) {
+      size_t capacity = 16;
+      while (spans_.size() * 10 > capacity * 7) capacity <<= 1;
+      slots_.assign(capacity, kNpos);
+      mask_ = capacity - 1;
+      for (uint32_t id = 0; id < spans_.size(); ++id) {
+        size_t idx = hashes_[id] & mask_;
+        while (slots_[idx] != kNpos) idx = (idx + 1) & mask_;
+        slots_[idx] = id;
+      }
+    }
+    return true;
+  }
 
  private:
   struct Span {

@@ -49,6 +49,24 @@ ServeMetrics& Metrics() {
   return *metrics;
 }
 
+/// Bounded retriever-cache counters. Accounting is thread-count
+/// invariant: a miss is a *winning* insert, so when two requests race to
+/// build the same database's index, exactly one miss is recorded and the
+/// loser counts as a hit — the same totals a single-threaded run produces.
+struct RetrieverCacheMetrics {
+  Counter& hits =
+      MetricsRegistry::Global().GetCounter("pipeline.retriever_cache.hits");
+  Counter& misses =
+      MetricsRegistry::Global().GetCounter("pipeline.retriever_cache.misses");
+  Counter& evictions = MetricsRegistry::Global().GetCounter(
+      "pipeline.retriever_cache.evictions");
+};
+
+RetrieverCacheMetrics& CacheMetrics() {
+  static RetrieverCacheMetrics* metrics = new RetrieverCacheMetrics();
+  return *metrics;
+}
+
 /// Records the per-request serving counters from a finished report.
 void RecordServeReport(const ServeReport& report) {
   ServeMetrics& m = Metrics();
@@ -179,12 +197,46 @@ void CodesPipeline::SetDemonstrationPool(
   demo_retriever_ = std::make_unique<DemonstrationRetriever>(pool, options);
 }
 
-const ValueRetriever* CodesPipeline::RetrieverFor(
+std::shared_ptr<const ValueRetriever> CodesPipeline::RetrieverFor(
     const sql::Database& db) const {
   return RetrieverForGuarded(db, nullptr, nullptr);
 }
 
-const ValueRetriever* CodesPipeline::RetrieverForGuarded(
+CodesPipeline::RetrieverCacheStats CodesPipeline::retriever_cache_stats()
+    const {
+  std::shared_lock<std::shared_mutex> lock(retriever_mu_);
+  return RetrieverCacheStats{retriever_cache_.size(), retriever_cache_bytes_};
+}
+
+void CodesPipeline::ClearRetrieverCache() const {
+  std::unique_lock<std::shared_mutex> lock(retriever_mu_);
+  retriever_cache_.clear();
+  retriever_cache_bytes_ = 0;
+}
+
+void CodesPipeline::EvictRetrieversLocked(const sql::Database* keep) const {
+  while (retriever_cache_.size() > 1 &&
+         (retriever_cache_.size() > config_.retriever_cache_max_entries ||
+          retriever_cache_bytes_ > config_.retriever_cache_max_bytes)) {
+    auto victim = retriever_cache_.end();
+    uint64_t oldest = ~0ULL;
+    for (auto it = retriever_cache_.begin(); it != retriever_cache_.end();
+         ++it) {
+      if (it->first == keep) continue;
+      uint64_t use = it->second->last_use.load(std::memory_order_relaxed);
+      if (use < oldest) {
+        oldest = use;
+        victim = it;
+      }
+    }
+    if (victim == retriever_cache_.end()) return;
+    retriever_cache_bytes_ -= victim->second->bytes;
+    retriever_cache_.erase(victim);
+    CacheMetrics().evictions.Increment();
+  }
+}
+
+std::shared_ptr<const ValueRetriever> CodesPipeline::RetrieverForGuarded(
     const sql::Database& db, ExecGuard* guard, ServeReport* report) const {
   if (!config_.prompt.use_value_retriever) return nullptr;
   // The failpoint is evaluated exactly once per call, before the cache is
@@ -197,12 +249,20 @@ const ValueRetriever* CodesPipeline::RetrieverForGuarded(
   {
     std::shared_lock<std::shared_mutex> lock(retriever_mu_);
     auto it = retriever_cache_.find(&db);
-    if (it != retriever_cache_.end()) return it->second.get();
+    if (it != retriever_cache_.end()) {
+      // LRU touch without the exclusive lock: stamp the entry with the
+      // next tick of a logical clock.
+      it->second->last_use.store(
+          retriever_use_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+          std::memory_order_relaxed);
+      CacheMetrics().hits.Increment();
+      return it->second->retriever;
+    }
   }
   // Build outside the lock so concurrent misses on different databases
   // index in parallel; on a same-database race the first insert wins and
   // the loser's copy is discarded.
-  auto retriever = std::make_unique<ValueRetriever>();
+  auto retriever = std::make_shared<ValueRetriever>();
   Status built =
       retriever->TryBuildIndex(db, guard, /*check_failpoint=*/false);
   if (!built.ok()) {
@@ -213,8 +273,30 @@ const ValueRetriever* CodesPipeline::RetrieverForGuarded(
     return nullptr;
   }
   std::unique_lock<std::shared_mutex> lock(retriever_mu_);
-  auto [it, inserted] = retriever_cache_.try_emplace(&db, std::move(retriever));
-  return it->second.get();
+  auto [it, inserted] = retriever_cache_.try_emplace(&db, nullptr);
+  if (inserted) {
+    auto entry = std::make_unique<RetrieverCacheEntry>();
+    entry->retriever = std::move(retriever);
+    entry->bytes = entry->retriever->ApproxBytes();
+    entry->last_use.store(
+        retriever_use_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+        std::memory_order_relaxed);
+    retriever_cache_bytes_ += entry->bytes;
+    it->second = std::move(entry);
+    CacheMetrics().misses.Increment();
+    EvictRetrieversLocked(&db);
+    // `it` may have been invalidated only for *other* keys; the inserted
+    // entry is exempt from eviction, so re-find is unnecessary —
+    // unordered_map::erase never invalidates other iterators.
+    return retriever_cache_.find(&db)->second->retriever;
+  }
+  // Lost the build race: the winner's entry is the cache's copy. Counts
+  // as a hit so totals match a single-threaded run.
+  it->second->last_use.store(
+      retriever_use_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+      std::memory_order_relaxed);
+  CacheMetrics().hits.Increment();
+  return it->second->retriever;
 }
 
 std::string CodesPipeline::QuestionWithEk(
@@ -278,12 +360,18 @@ DatabasePrompt CodesPipeline::BuildPromptInternal(
   // rung (the stage is genuinely being avoided as failing); a brownout
   // skip (disable_value_retriever) does not.
   const ValueRetriever* retriever = nullptr;
+  std::shared_ptr<const ValueRetriever> lease;
   if (serve != nullptr && serve->force_value_fallback) {
     if (report != nullptr) report->AddRung(ServeRung::kValueFallback);
   } else if (serve != nullptr && serve->disable_value_retriever) {
     // Policy skip: no rung, no retriever.
+  } else if (serve != nullptr && serve->value_retriever != nullptr) {
+    // Fleet-injected artifact: the caller holds the lease; the pipeline's
+    // own cache is bypassed entirely.
+    retriever = serve->value_retriever;
   } else {
-    retriever = RetrieverForGuarded(db, guard, report);
+    lease = RetrieverForGuarded(db, guard, report);
+    retriever = lease.get();
   }
 
   PromptBuilder builder(classifier_.get(), options);

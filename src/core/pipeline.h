@@ -1,6 +1,7 @@
 #ifndef CODES_CORE_PIPELINE_H_
 #define CODES_CORE_PIPELINE_H_
 
+#include <atomic>
 #include <memory>
 #include <shared_mutex>
 #include <string>
@@ -34,6 +35,15 @@ struct PipelineConfig {
   /// Extra decode noise for emulating weaker baseline families.
   double extra_model_noise = 0.0;
   uint64_t seed = 99;
+
+  /// Bounds on the lazily built per-database value-retriever cache.
+  /// Sustained traffic over many databases used to grow the cache without
+  /// bound (the ISSUE 9 memory bug); the cache now evicts its
+  /// least-recently-used entry once either cap is exceeded. Entries are
+  /// leased out as shared_ptrs, so an evicted retriever stays alive until
+  /// the last in-flight request using it finishes.
+  size_t retriever_cache_max_entries = 64;
+  size_t retriever_cache_max_bytes = 512ull << 20;  // 512 MiB
 };
 
 /// One rung of the serving degradation ladder, ordered from least to most
@@ -83,6 +93,13 @@ struct ServeOptions {
   /// the request walks the degradation ladder (repair → unverified
   /// fallback) instead of returning garbage rows. Must outlive the call.
   const sql::ExecSource* verify_source = nullptr;
+
+  /// When set, value retrieval uses this pre-built retriever instead of
+  /// the pipeline's internal per-database cache. This is how the fleet
+  /// manager plugs a tenant's leased artifact into a request: the lease
+  /// (a shared_ptr held by the caller) must outlive the call. Ignored
+  /// when force_value_fallback or disable_value_retriever is set.
+  const ValueRetriever* value_retriever = nullptr;
 
   // --- Overload-protection overrides (set by the serving front end;
   // src/serve/) -------------------------------------------------------
@@ -223,21 +240,36 @@ class CodesPipeline {
   const SchemaItemClassifier* classifier() const { return classifier_.get(); }
   const PipelineConfig& config() const { return config_; }
 
- private:
+  /// Point-in-time occupancy of the bounded value-retriever cache
+  /// (exposed for the flat-memory regression test and diagnostics).
+  struct RetrieverCacheStats {
+    size_t entries = 0;
+    size_t bytes = 0;
+  };
+  RetrieverCacheStats retriever_cache_stats() const;
+
+  /// Drops every cached retriever without counting evictions — campaign
+  /// hygiene (determinism selfchecks replay from a cold cache), not a
+  /// budget event. Outstanding leases stay valid.
+  void ClearRetrieverCache() const;
+
   /// Returns the cached (or lazily built) value retriever for `db`.
   /// Thread-safe: shared-lock lookup on the fast path, exclusive insert on
-  /// miss. The returned pointer stays valid for the pipeline's lifetime
-  /// (map values are heap-allocated and never evicted).
-  const ValueRetriever* RetrieverFor(const sql::Database& db) const;
+  /// miss. The returned lease keeps the retriever alive even if the cache
+  /// evicts it while the request is still using it. Public so the cache
+  /// bound/flat-memory regression tests can drive lookups without paying
+  /// for full predictions.
+  std::shared_ptr<const ValueRetriever> RetrieverFor(
+      const sql::Database& db) const;
 
+ private:
   /// Guarded variant: evaluates the value_retriever.build_index failpoint
   /// once per call (cache hit or miss — fault decisions must not depend on
   /// which request built the cache first), polls `guard` during a miss
   /// build, and returns nullptr with a kValueFallback rung on failure. A
   /// failed build is never cached, so a later healthy request rebuilds.
-  const ValueRetriever* RetrieverForGuarded(const sql::Database& db,
-                                            ExecGuard* guard,
-                                            ServeReport* report) const;
+  std::shared_ptr<const ValueRetriever> RetrieverForGuarded(
+      const sql::Database& db, ExecGuard* guard, ServeReport* report) const;
 
   /// Shared implementation of BuildPrompt/PredictGuarded: applies the
   /// classifier and value rungs of the ladder while constructing options.
@@ -263,10 +295,25 @@ class CodesPipeline {
   /// SetDemonstrationPool time (budgeting per-call on demo_pool_[0] alone
   /// let one unusually short first demo blow the token budget).
   int mean_demo_cost_ = 0;
+  /// One bounded-cache slot. `last_use` is a logical-clock stamp bumped
+  /// under the shared lock on every hit (atomic, so hits never take the
+  /// exclusive lock); the evictor removes the smallest stamp.
+  struct RetrieverCacheEntry {
+    std::shared_ptr<const ValueRetriever> retriever;
+    size_t bytes = 0;
+    std::atomic<uint64_t> last_use{0};
+  };
+
+  /// Evicts LRU entries until both caps hold. Requires the exclusive lock;
+  /// never evicts `keep` (the entry the current request just inserted).
+  void EvictRetrieversLocked(const sql::Database* keep) const;
+
   mutable std::shared_mutex retriever_mu_;
   mutable std::unordered_map<const sql::Database*,
-                             std::unique_ptr<ValueRetriever>>
+                             std::unique_ptr<RetrieverCacheEntry>>
       retriever_cache_;
+  mutable size_t retriever_cache_bytes_ = 0;
+  mutable std::atomic<uint64_t> retriever_use_clock_{0};
 };
 
 }  // namespace codes

@@ -119,6 +119,106 @@ void Bm25Index::Finalize() {
   finalized_ = true;
 }
 
+size_t Bm25Index::ApproxBytes() const {
+  size_t bytes = sizeof(*this);
+  bytes += doc_lengths_.size() * sizeof(int);
+  for (const std::string& text : doc_texts_) {
+    bytes += sizeof(std::string) + text.size();
+  }
+  bytes += terms_.ApproxBytes();
+  for (const auto& postings : build_postings_) {
+    bytes += sizeof(postings) + postings.size() * sizeof(Posting);
+  }
+  bytes += posting_begin_.size() * sizeof(uint32_t);
+  bytes += posting_doc_.size() * sizeof(int32_t);
+  bytes += posting_tf_.size() * sizeof(int32_t);
+  bytes += idf_.size() * sizeof(double);
+  bytes += doc_norm_.size() * sizeof(double);
+  return bytes;
+}
+
+namespace {
+constexpr uint32_t kBm25Magic = 0x424D3235;  // "BM25"
+constexpr uint32_t kBm25Version = 1;
+}  // namespace
+
+void Bm25Index::SaveTo(std::string* out) const {
+  CODES_CHECK(finalized_ && "Bm25Index::SaveTo before Finalize()");
+  serial::PutMagic(out, kBm25Magic, kBm25Version);
+  serial::PutDouble(out, k1_);
+  serial::PutDouble(out, b_);
+  serial::PutU64(out, doc_lengths_.size());
+  for (int len : doc_lengths_) serial::PutI32(out, len);
+  for (const std::string& text : doc_texts_) serial::PutString(out, text);
+  terms_.SaveTo(out);
+  // Per-term postings (the analyzed documents). The derived CSR layout,
+  // IDF table, and norms are recomputed by Finalize on load — exact
+  // doubles, since Finalize is deterministic in its inputs.
+  serial::PutU64(out, build_postings_.size());
+  for (const auto& postings : build_postings_) {
+    serial::PutU64(out, postings.size());
+    for (const Posting& posting : postings) {
+      serial::PutI32(out, posting.doc_id);
+      serial::PutI32(out, posting.term_freq);
+    }
+  }
+}
+
+Status Bm25Index::LoadFrom(serial::Reader* reader) {
+  *this = Bm25Index();
+  auto corrupt = [this](const char* what) {
+    *this = Bm25Index();
+    return Status::DataLoss(std::string("bm25 snapshot: ") + what);
+  };
+  if (!serial::ReadMagic(reader, kBm25Magic, kBm25Version)) {
+    return corrupt("bad magic");
+  }
+  if (!reader->ReadDouble(&k1_) || !reader->ReadDouble(&b_)) {
+    return corrupt("truncated params");
+  }
+  uint64_t n_docs = 0;
+  if (!reader->ReadU64(&n_docs) || n_docs > reader->remaining()) {
+    return corrupt("bad document count");
+  }
+  doc_lengths_.reserve(n_docs);
+  for (uint64_t i = 0; i < n_docs; ++i) {
+    int32_t len = 0;
+    if (!reader->ReadI32(&len) || len < 0) return corrupt("bad doc length");
+    doc_lengths_.push_back(len);
+  }
+  doc_texts_.resize(n_docs);
+  for (uint64_t i = 0; i < n_docs; ++i) {
+    if (!reader->ReadString(&doc_texts_[i])) return corrupt("truncated text");
+  }
+  if (!terms_.LoadFrom(reader)) return corrupt("bad term dictionary");
+  uint64_t n_terms = 0;
+  if (!reader->ReadU64(&n_terms) || n_terms != terms_.size()) {
+    return corrupt("term/postings count mismatch");
+  }
+  build_postings_.resize(n_terms);
+  for (uint64_t term = 0; term < n_terms; ++term) {
+    uint64_t n_postings = 0;
+    if (!reader->ReadU64(&n_postings) ||
+        n_postings > reader->remaining() / (2 * sizeof(int32_t))) {
+      return corrupt("bad posting count");
+    }
+    auto& postings = build_postings_[term];
+    postings.reserve(n_postings);
+    for (uint64_t p = 0; p < n_postings; ++p) {
+      Posting posting{0, 0};
+      if (!reader->ReadI32(&posting.doc_id) ||
+          !reader->ReadI32(&posting.term_freq) || posting.doc_id < 0 ||
+          posting.doc_id >= static_cast<int32_t>(n_docs) ||
+          posting.term_freq < 1) {
+        return corrupt("bad posting");
+      }
+      postings.push_back(posting);
+    }
+  }
+  Finalize();
+  return Status::Ok();
+}
+
 std::vector<Bm25Hit> Bm25Index::Query(std::string_view query,
                                       int top_k) const {
   CODES_TRACE_SPAN(span, "bm25.lookup");

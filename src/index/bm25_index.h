@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/flat_hash.h"
+#include "common/status.h"
 
 namespace codes {
 
@@ -79,6 +80,23 @@ class Bm25Index {
   const std::string& DocumentText(int doc_id) const {
     return doc_texts_[static_cast<size_t>(doc_id)];
   }
+
+  /// Resident cost in bytes (documents, dictionary, postings, derived
+  /// arrays) — what a fleet manager charges against its memory budget.
+  size_t ApproxBytes() const;
+
+  /// Appends a snapshot of the index to `out`. The analyzed token stream
+  /// (interned dictionary + per-term postings) is persisted, so LoadFrom
+  /// skips re-tokenizing every document — the expensive half of a build —
+  /// and only re-runs the cheap Finalize flattening. The index must be
+  /// finalized first.
+  void SaveTo(std::string* out) const;
+
+  /// Restores an index from SaveTo bytes, consuming exactly one snapshot
+  /// from `reader`. Returns kDataLoss (with the index left empty) on any
+  /// malformation; on success the index is finalized and query results
+  /// are byte-identical to the index that was saved.
+  Status LoadFrom(serial::Reader* reader);
 
  private:
   struct Posting {

@@ -70,6 +70,66 @@ Status ValueRetriever::TryBuildIndex(const sql::Database& db, ExecGuard* guard,
   return Status::Ok();
 }
 
+size_t ValueRetriever::ApproxBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const Entry& entry : entries_) {
+    bytes += sizeof(Entry) + entry.text.size();
+  }
+  bytes += index_.ApproxBytes();
+  return bytes;
+}
+
+namespace {
+constexpr uint32_t kRetrieverMagic = 0x56524554;  // "VRET"
+constexpr uint32_t kRetrieverVersion = 1;
+}  // namespace
+
+void ValueRetriever::SaveTo(std::string* out) const {
+  serial::PutMagic(out, kRetrieverMagic, kRetrieverVersion);
+  serial::PutU64(out, entries_.size());
+  for (const Entry& entry : entries_) {
+    serial::PutI32(out, entry.table);
+    serial::PutI32(out, entry.column);
+  }
+  index_.SaveTo(out);
+}
+
+Status ValueRetriever::LoadFrom(serial::Reader* reader) {
+  entries_.clear();
+  index_ = Bm25Index();
+  auto corrupt = [this](const char* what) {
+    entries_.clear();
+    index_ = Bm25Index();
+    return Status::DataLoss(std::string("value retriever snapshot: ") + what);
+  };
+  if (!serial::ReadMagic(reader, kRetrieverMagic, kRetrieverVersion)) {
+    return corrupt("bad magic");
+  }
+  uint64_t n = 0;
+  if (!reader->ReadU64(&n) || n > reader->remaining() / (2 * sizeof(int32_t))) {
+    return corrupt("bad entry count");
+  }
+  entries_.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    Entry entry;
+    if (!reader->ReadI32(&entry.table) || !reader->ReadI32(&entry.column)) {
+      return corrupt("truncated entry");
+    }
+    entries_.push_back(std::move(entry));
+  }
+  Status status = index_.LoadFrom(reader);
+  if (!status.ok()) return corrupt(status.message().c_str());
+  if (static_cast<uint64_t>(index_.NumDocuments()) != n) {
+    return corrupt("entry/document count mismatch");
+  }
+  // Entry texts are the index's document texts (BuildIndex adds them in
+  // lockstep); restore the parallel copy from the index.
+  for (uint64_t i = 0; i < n; ++i) {
+    entries_[i].text = index_.DocumentText(static_cast<int>(i));
+  }
+  return Status::Ok();
+}
+
 std::vector<RetrievedValue> ValueRetriever::FineRank(
     const std::string& question, const std::vector<int>& candidates,
     int fine_k) const {

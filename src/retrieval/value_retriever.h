@@ -57,6 +57,20 @@ class ValueRetriever {
   std::vector<RetrievedValue> RetrieveBruteForce(const std::string& question,
                                                  int fine_k = 6) const;
 
+  /// Resident cost in bytes (entries plus the BM25 index) — what the
+  /// fleet manager charges against its memory budget.
+  size_t ApproxBytes() const;
+
+  /// Appends a snapshot (entry table + BM25 index) to `out`. Entry texts
+  /// are not duplicated — they equal the index's document texts, so the
+  /// snapshot stores only (table, column) pairs alongside the index.
+  void SaveTo(std::string* out) const;
+
+  /// Restores a retriever from SaveTo bytes, consuming one snapshot from
+  /// `reader`. Returns kDataLoss (retriever left empty) on malformation;
+  /// on success Retrieve results are byte-identical to the saved one.
+  Status LoadFrom(serial::Reader* reader);
+
  private:
   struct Entry {
     std::string text;

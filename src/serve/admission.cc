@@ -1,14 +1,22 @@
 #include "serve/admission.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace codes {
 namespace serve {
 
-TokenBucket::TokenBucket(double rate_per_sec, double burst)
-    : rate_per_sec_(rate_per_sec),
-      burst_(std::max(burst, 1.0)),
-      tokens_(std::max(burst, 1.0)) {}
+TokenBucket::TokenBucket(double rate_per_sec, double burst) {
+  // Sanitize before storing: a NaN burst would poison tokens_ forever
+  // (std::max(NaN, 1.0) is NaN, and NaN < 1.0 is false, so TryAcquire
+  // would admit every request), and a non-finite rate has no meaningful
+  // refill semantics — treat it as "unlimited" like rate <= 0.
+  if (!std::isfinite(rate_per_sec)) rate_per_sec = 0.0;
+  if (!std::isfinite(burst) || burst < 1.0) burst = 1.0;
+  rate_per_sec_ = rate_per_sec;
+  burst_ = burst;
+  tokens_ = burst;
+}
 
 void TokenBucket::Refill(uint64_t now_us) {
   if (!primed_) {
@@ -21,7 +29,12 @@ void TokenBucket::Refill(uint64_t now_us) {
   if (now_us <= last_refill_us_) return;
   double elapsed_s =
       static_cast<double>(now_us - last_refill_us_) * 1e-6;
-  tokens_ = std::min(burst_, tokens_ + elapsed_s * rate_per_sec_);
+  // Saturate at capacity, written so that a non-finite accrual (an
+  // arbitrarily long idle gap, extreme rates) also lands on burst_: the
+  // inverted comparison is false for NaN, so poison clamps instead of
+  // propagating into tokens_ and bypassing admission forever.
+  double next = tokens_ + elapsed_s * rate_per_sec_;
+  tokens_ = (next < burst_) ? next : burst_;
   last_refill_us_ = now_us;
 }
 
@@ -38,7 +51,45 @@ double TokenBucket::tokens_at(uint64_t now_us) const {
   if (!primed_ || now_us <= last_refill_us_) return tokens_;
   double elapsed_s =
       static_cast<double>(now_us - last_refill_us_) * 1e-6;
-  return std::min(burst_, tokens_ + elapsed_s * rate_per_sec_);
+  double next = tokens_ + elapsed_s * rate_per_sec_;
+  return (next < burst_) ? next : burst_;
+}
+
+WeightedFairLimiter::WeightedFairLimiter(
+    double capacity_qps, const std::vector<TenantSpec>& tenants) {
+  if (!std::isfinite(capacity_qps) || capacity_qps <= 0.0 ||
+      tenants.empty()) {
+    return;  // limiting disabled: no buckets, TryAcquire always true
+  }
+  double total_weight = 0.0;
+  for (const TenantSpec& spec : tenants) {
+    total_weight +=
+        (std::isfinite(spec.weight) && spec.weight > 0.0) ? spec.weight : 0.0;
+  }
+  if (total_weight <= 0.0) return;
+  buckets_.reserve(tenants.size());
+  rates_.reserve(tenants.size());
+  for (const TenantSpec& spec : tenants) {
+    double weight =
+        (std::isfinite(spec.weight) && spec.weight > 0.0) ? spec.weight : 0.0;
+    // A zero-weight tenant still gets an epsilon share: starving a
+    // configured tenant entirely is never the fair-share contract.
+    double rate = capacity_qps * std::max(weight, 1e-6) / total_weight;
+    rates_.push_back(rate);
+    buckets_.emplace_back(rate, spec.burst);
+  }
+}
+
+bool WeightedFairLimiter::TryAcquire(int tenant, uint64_t now_us) {
+  if (tenant < 0 || static_cast<size_t>(tenant) >= buckets_.size()) {
+    return true;
+  }
+  return buckets_[static_cast<size_t>(tenant)].TryAcquire(now_us);
+}
+
+double WeightedFairLimiter::RateOf(int tenant) const {
+  if (tenant < 0 || static_cast<size_t>(tenant) >= rates_.size()) return 0.0;
+  return rates_[static_cast<size_t>(tenant)];
 }
 
 DeadlineQueue::DeadlineQueue(size_t capacity, size_t lifo_threshold)
@@ -90,6 +141,8 @@ const char* AdmissionName(Admission admission) {
       return "rejected_rate";
     case Admission::kRejectedQueueFull:
       return "rejected_queue_full";
+    case Admission::kRejectedTenantRate:
+      return "rejected_tenant_rate";
   }
   return "unknown";
 }
@@ -105,11 +158,18 @@ AdmissionController::Options AdmissionController::Options::Resolve() const {
 
 AdmissionController::AdmissionController(const Options& options)
     : bucket_(options.Resolve().rate_per_sec, options.Resolve().burst),
+      tenant_limiter_(options.Resolve().tenant_capacity_qps,
+                      options.Resolve().tenants),
       queue_(options.Resolve().queue_capacity,
              options.Resolve().lifo_threshold) {}
 
 Admission AdmissionController::Offer(const QueuedRequest& request,
                                      uint64_t now_us) {
+  // Tenant fair share first: a hot tenant's excess is clipped before it
+  // can spend any of the global tokens the other tenants share.
+  if (!tenant_limiter_.TryAcquire(request.tenant, now_us)) {
+    return Admission::kRejectedTenantRate;
+  }
   if (!bucket_.TryAcquire(now_us)) return Admission::kRejectedRate;
   if (!queue_.Push(request)) return Admission::kRejectedQueueFull;
   return Admission::kEnqueued;

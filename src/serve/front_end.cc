@@ -24,6 +24,8 @@ struct FrontEndMetrics {
       MetricsRegistry::Global().GetCounter("serve.rejected.rate");
   Counter& rejected_queue_full =
       MetricsRegistry::Global().GetCounter("serve.rejected.queue_full");
+  Counter& rejected_tenant_rate =
+      MetricsRegistry::Global().GetCounter("serve.rejected.tenant_rate");
   Counter& shed = MetricsRegistry::Global().GetCounter("serve.shed");
   Counter& shed_deadline =
       MetricsRegistry::Global().GetCounter("serve.shed.deadline");
@@ -102,6 +104,23 @@ ServeFrontEnd::ServeFrontEnd(const CodesPipeline* pipeline,
       brownout_(options.brownout),
       epoch_(std::chrono::steady_clock::now()) {
   options_.admission = options.admission.Resolve();
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  tenant_metrics_.reserve(options_.tenant_names.size());
+  for (const std::string& name : options_.tenant_names) {
+    std::string prefix = "serve.tenant." + name + ".";
+    tenant_metrics_.push_back(
+        TenantCounters{&registry.GetCounter(prefix + "offered"),
+                       &registry.GetCounter(prefix + "admitted"),
+                       &registry.GetCounter(prefix + "rejected"),
+                       &registry.GetCounter(prefix + "shed")});
+  }
+}
+
+ServeFrontEnd::TenantCounters* ServeFrontEnd::TenantOf(int tenant) {
+  if (tenant < 0 || static_cast<size_t>(tenant) >= tenant_metrics_.size()) {
+    return nullptr;
+  }
+  return &tenant_metrics_[static_cast<size_t>(tenant)];
 }
 
 uint64_t ServeFrontEnd::WallNowUs() const {
@@ -131,13 +150,16 @@ void ServeFrontEnd::NoteBreakerTransition(ServeStage stage,
 }
 
 Admission ServeFrontEnd::OfferLocked(uint64_t id, uint64_t deadline_us,
-                                     uint64_t now_us) {
+                                     uint64_t now_us, int tenant) {
   FrontEndMetrics& m = Metrics();
   m.offered.Increment();
+  TenantCounters* t = TenantOf(tenant);
+  if (t != nullptr) t->offered->Increment();
   QueuedRequest request;
   request.id = id;
   request.enqueue_us = now_us;
   request.deadline_us = deadline_us;
+  request.tenant = tenant;
   Admission admission = admission_.Offer(request, now_us);
   switch (admission) {
     case Admission::kEnqueued:
@@ -145,19 +167,26 @@ Admission ServeFrontEnd::OfferLocked(uint64_t id, uint64_t deadline_us,
     case Admission::kRejectedRate:
       m.rejected.Increment();
       m.rejected_rate.Increment();
+      if (t != nullptr) t->rejected->Increment();
       break;
     case Admission::kRejectedQueueFull:
       m.rejected.Increment();
       m.rejected_queue_full.Increment();
+      if (t != nullptr) t->rejected->Increment();
+      break;
+    case Admission::kRejectedTenantRate:
+      m.rejected.Increment();
+      m.rejected_tenant_rate.Increment();
+      if (t != nullptr) t->rejected->Increment();
       break;
   }
   return admission;
 }
 
 Admission ServeFrontEnd::Offer(uint64_t id, uint64_t deadline_us,
-                               uint64_t now_us) {
+                               uint64_t now_us, int tenant) {
   std::lock_guard<std::mutex> lock(mu_);
-  return OfferLocked(id, deadline_us, now_us);
+  return OfferLocked(id, deadline_us, now_us, tenant);
 }
 
 bool ServeFrontEnd::Dequeue(uint64_t now_us, QueuedRequest* out,
@@ -173,9 +202,18 @@ bool ServeFrontEnd::Dequeue(uint64_t now_us, QueuedRequest* out,
   if (n_shed > 0) {
     m.shed.Increment(n_shed);
     m.shed_deadline.Increment(n_shed);
+    // Attribute each expired entry to the tenant that offered it — the
+    // per-tenant sum invariant only holds when shed work lands on its
+    // owner, not on whichever request's dequeue flushed it.
+    for (size_t i = before; i < expired.size(); ++i) {
+      TenantCounters* t = TenantOf(expired[i].tenant);
+      if (t != nullptr) t->shed->Increment();
+    }
   }
   if (got) {
     m.admitted.Increment();
+    TenantCounters* t = TenantOf(out->tenant);
+    if (t != nullptr) t->admitted->Increment();
     m.queue_wait_us.Observe(
         static_cast<double>(now_us - out->enqueue_us));
   }
@@ -268,6 +306,10 @@ size_t ServeFrontEnd::Drain(uint64_t now_us,
   if (n_shed > 0) {
     m.shed.Increment(n_shed);
     m.shed_drain.Increment(n_shed);
+    for (size_t i = before; i < victims.size(); ++i) {
+      TenantCounters* t = TenantOf(victims[i].tenant);
+      if (t != nullptr) t->shed->Increment();
+    }
   }
   m.queue_depth.Set(0);
   return n_shed;
@@ -300,7 +342,7 @@ Status ServeFrontEnd::Serve(const Text2SqlSample& sample, std::string* sql,
   {
     std::lock_guard<std::mutex> lock(mu_);
     m.offered.Increment();
-    if (!admission_.AcquireToken(now)) {
+    if (admission_.AcquireToken(now) != Admission::kEnqueued) {
       m.rejected.Increment();
       m.rejected_rate.Increment();
       return Status::ResourceExhausted("rate limited");
@@ -342,7 +384,7 @@ bool ServeFrontEnd::TryServeAsync(
   {
     std::lock_guard<std::mutex> lock(mu_);
     m.offered.Increment();
-    if (!admission_.AcquireToken(now)) {
+    if (admission_.AcquireToken(now) != Admission::kEnqueued) {
       m.rejected.Increment();
       m.rejected_rate.Increment();
       return false;

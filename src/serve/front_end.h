@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "core/pipeline.h"
 #include "serve/admission.h"
@@ -45,6 +46,11 @@ struct FrontEndOptions {
   ExecLimits limits;
   /// Deadline assigned to requests that arrive without one (0 = none).
   uint64_t default_deadline_us = 0;
+  /// Tenant display names, parallel to admission.tenants. When non-empty,
+  /// every offer/admit/reject/shed is also attributed to a
+  /// serve.tenant.<name>.* counter family so the global sum invariant can
+  /// be checked per tenant.
+  std::vector<std::string> tenant_names;
 };
 
 /// The overload-protection front end between callers and
@@ -59,7 +65,11 @@ struct FrontEndOptions {
 ///   serve.admitted + serve.rejected + serve.shed == serve.offered
 ///
 /// with serve.rejected = serve.rejected.rate + serve.rejected.queue_full
-/// and serve.shed = serve.shed.deadline + serve.shed.drain.
+/// + serve.rejected.tenant_rate and serve.shed = serve.shed.deadline +
+/// serve.shed.drain. With tenants configured the same invariant holds for
+/// every serve.tenant.<name>.{offered,admitted,rejected,shed} family —
+/// shed and expired requests attribute to the tenant that offered them,
+/// not to whichever request's dequeue happened to flush them.
 ///
 /// Two usage modes share all decision logic:
 ///
@@ -82,7 +92,10 @@ class ServeFrontEnd {
 
   /// Offers request `id` at `now_us`. kEnqueued means it is waiting in
   /// the deadline queue; a rejection is final (metrics recorded here).
-  Admission Offer(uint64_t id, uint64_t deadline_us, uint64_t now_us);
+  /// `tenant` (an index into FrontEndOptions::tenant_names) attributes
+  /// the request to its owner; -1 means untenanted traffic.
+  Admission Offer(uint64_t id, uint64_t deadline_us, uint64_t now_us,
+                  int tenant = -1);
 
   /// Pops the next serveable request, shedding expired entries along the
   /// way (each shed is recorded, and appended to `shed` when non-null so
@@ -143,9 +156,23 @@ class ServeFrontEnd {
                          const ServeReport&)> done);
 
  private:
+  /// Per-tenant slice of the admission counters (the serve.tenant.<name>.*
+  /// family); pointers into the global registry, resolved once at
+  /// construction.
+  struct TenantCounters {
+    Counter* offered;
+    Counter* admitted;
+    Counter* rejected;
+    Counter* shed;
+  };
+
   uint64_t WallNowUs() const;
 
-  Admission OfferLocked(uint64_t id, uint64_t deadline_us, uint64_t now_us);
+  /// The counter slice for `tenant`, or nullptr for untenanted traffic.
+  TenantCounters* TenantOf(int tenant);
+
+  Admission OfferLocked(uint64_t id, uint64_t deadline_us, uint64_t now_us,
+                        int tenant);
   ServeOptions OptionsForLocked(uint64_t now_us);
   void CompleteLocked(const ServeOptions& options_used,
                       const ServeReport& report, uint64_t now_us);
@@ -162,6 +189,7 @@ class ServeFrontEnd {
   /// single owner instead (a DES driver never contends).
   std::mutex mu_;
   AdmissionController admission_;
+  std::vector<TenantCounters> tenant_metrics_;
   CircuitBreaker breakers_[kNumServeStages];
   BrownoutController brownout_;
   size_t in_flight_ = 0;  ///< wall-clock Serve calls currently inside

@@ -35,6 +35,7 @@ enum class Outcome {
   kPending = 0,
   kRejectedRate,
   kRejectedQueueFull,
+  kRejectedTenantRate,
   kShedDeadline,
   kShedDrain,
   kServed,
@@ -51,6 +52,9 @@ struct Slot {
   uint64_t deadline_us = 0;
   uint64_t finish_us = 0;
   std::future<void> ready;
+  /// Fleet value-retriever lease, pinned from dispatch until the virtual
+  /// completion so eviction can never dangle an in-flight request.
+  std::shared_ptr<const ValueRetriever> lease;
 };
 
 /// DES event: completions sort before arrivals at the same virtual
@@ -83,6 +87,12 @@ uint64_t VirtualServiceUs(uint64_t seed, uint64_t id, int level,
 double LoadReport::GoodputQps() const {
   if (end_us == 0) return 0.0;
   return static_cast<double>(served_within_deadline) /
+         (static_cast<double>(end_us) * 1e-6);
+}
+
+double LoadReport::TenantGoodputQps(size_t row) const {
+  if (end_us == 0 || row >= tenants.size()) return 0.0;
+  return static_cast<double>(tenants[row].served_within_deadline) /
          (static_cast<double>(end_us) * 1e-6);
 }
 
@@ -119,6 +129,23 @@ std::string LoadReport::Summary() const {
                 "goodput: %.1f qps over %.3f virtual seconds\n",
                 GoodputQps(), static_cast<double>(end_us) * 1e-6);
   out += buf;
+  if (!tenants.empty()) {
+    std::snprintf(buf, sizeof(buf),
+                  "admission: rejected_tenant_rate=%" PRIu64 "\n",
+                  rejected_tenant_rate);
+    out += buf;
+    for (size_t i = 0; i < tenants.size(); ++i) {
+      const TenantRow& row = tenants[i];
+      std::snprintf(buf, sizeof(buf),
+                    "tenant %s: offered=%" PRIu64 " admitted=%" PRIu64
+                    " rejected=%" PRIu64 " shed=%" PRIu64
+                    " within_deadline=%" PRIu64 " goodput=%.1f qps\n",
+                    row.name.c_str(), row.offered, row.admitted,
+                    row.rejected, row.shed, row.served_within_deadline,
+                    TenantGoodputQps(i));
+      out += buf;
+    }
+  }
   std::snprintf(buf, sizeof(buf), "digest=%016" PRIx64 "\n", digest);
   out += buf;
   return out;
@@ -145,14 +172,63 @@ LoadReport RunLoadCampaign(const CodesPipeline& pipeline,
   size_t n = static_cast<size_t>(options.num_requests);
   std::vector<Slot> slots(n);
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+  // Multi-tenant campaigns assign every request a tenant and a
+  // tenant-local sample, from an rng stream independent of the arrival
+  // clock: the arrival schedule of a mix is identical to the
+  // single-tenant schedule at the same seed, only the labels differ.
+  bool multi_tenant = !options.tenants.empty();
+  std::vector<int> tenant_of(n, -1);
+  std::vector<size_t> sample_of(n, 0);
+  std::vector<std::vector<size_t>> tenant_samples;
+  if (multi_tenant) {
+    tenant_samples.resize(options.tenants.size());
+    for (size_t t = 0; t < options.tenants.size(); ++t) {
+      int want_db = options.tenants[t].db_index;
+      for (size_t i = 0; i < bench.dev.size(); ++i) {
+        if (want_db < 0 || bench.dev[i].db_index == want_db) {
+          tenant_samples[t].push_back(i);
+        }
+      }
+      // A tenant with no matching dev samples draws from the whole set
+      // rather than crashing the campaign.
+      if (tenant_samples[t].empty()) {
+        for (size_t i = 0; i < bench.dev.size(); ++i) {
+          tenant_samples[t].push_back(i);
+        }
+      }
+    }
+  }
   {
     Rng rng(options.seed ^ 0xA881ULL);
+    Rng mix_rng(options.seed ^ 0x7E4A17ULL);
     double rate = std::max(options.offered_qps, 1e-6);
     double t = 0.0;
+    std::vector<double> weights(options.tenants.size(), 0.0);
     for (size_t id = 0; id < n; ++id) {
       double u = rng.UniformDouble();
       t += -std::log(1.0 - u) / rate * 1e6;
-      events.push(Event{static_cast<uint64_t>(t), /*kind=*/1, id});
+      uint64_t at = static_cast<uint64_t>(t);
+      events.push(Event{at, /*kind=*/1, id});
+      if (multi_tenant) {
+        bool in_burst =
+            options.burst_period_us > 0 && options.burst_duty > 0.0 &&
+            static_cast<double>(at % options.burst_period_us) <
+                options.burst_duty *
+                    static_cast<double>(options.burst_period_us);
+        for (size_t w = 0; w < options.tenants.size(); ++w) {
+          const TenantTraffic& tt = options.tenants[w];
+          double share = (in_burst && tt.burst_share >= 0.0)
+                             ? tt.burst_share
+                             : tt.share;
+          weights[w] = std::max(share, 0.0);
+        }
+        size_t tenant = mix_rng.WeightedIndex(weights);
+        tenant_of[id] = static_cast<int>(tenant);
+        sample_of[id] = tenant_samples[tenant][mix_rng.Index(
+            tenant_samples[tenant].size())];
+      } else {
+        sample_of[id] = id % bench.dev.size();
+      }
     }
   }
 
@@ -166,10 +242,17 @@ LoadReport RunLoadCampaign(const CodesPipeline& pipeline,
       uint64_t id = next.id;
       Slot& slot = slots[id];
       slot.options = front_end.OptionsFor(now_us);
+      if (multi_tenant && options.tenant_attach) {
+        // Fleet attach happens here, on the DES thread at a virtual
+        // timestamp — so the attach/evict sequence is a pure function of
+        // the seed no matter how many real threads execute the work.
+        slot.lease = options.tenant_attach(tenant_of[id]);
+        slot.options.value_retriever = slot.lease.get();
+      }
       uint64_t service = VirtualServiceUs(options.seed, id,
                                           slot.options.brownout_level,
                                           options.service_base_us);
-      const Text2SqlSample& sample = bench.dev[id % bench.dev.size()];
+      const Text2SqlSample& sample = bench.dev[sample_of[id]];
       auto done = std::make_shared<std::promise<void>>();
       slot.ready = done->get_future();
       pool.Submit([&pipeline, &bench, &sample, &slot,
@@ -195,11 +278,14 @@ LoadReport RunLoadCampaign(const CodesPipeline& pipeline,
       uint64_t deadline =
           options.deadline_us > 0 ? now_us + options.deadline_us : 0;
       slots[event.id].deadline_us = deadline;
-      Admission admission = front_end.Offer(event.id, deadline, now_us);
+      Admission admission =
+          front_end.Offer(event.id, deadline, now_us, tenant_of[event.id]);
       if (admission == Admission::kRejectedRate) {
         slots[event.id].outcome = Outcome::kRejectedRate;
       } else if (admission == Admission::kRejectedQueueFull) {
         slots[event.id].outcome = Outcome::kRejectedQueueFull;
+      } else if (admission == Admission::kRejectedTenantRate) {
+        slots[event.id].outcome = Outcome::kRejectedTenantRate;
       }
     } else {  // completion
       Slot& slot = slots[event.id];
@@ -209,6 +295,7 @@ LoadReport RunLoadCampaign(const CodesPipeline& pipeline,
       slot.outcome = Outcome::kServed;
       slot.finish_us = now_us;
       front_end.Complete(slot.options, slot.report, now_us);
+      slot.lease.reset();  // release the fleet lease at completion
       ++free_workers;
     }
     front_end.ObserveQueue(now_us);
@@ -231,38 +318,66 @@ LoadReport RunLoadCampaign(const CodesPipeline& pipeline,
   // fold makes that a non-question).
   Digest digest;
   report.offered = n;
+  if (multi_tenant) {
+    report.tenants.resize(options.tenants.size());
+    for (size_t t = 0; t < options.tenants.size(); ++t) {
+      report.tenants[t].name = options.tenants[t].name;
+    }
+  }
   char line[64];
   for (size_t id = 0; id < n; ++id) {
     const Slot& slot = slots[id];
+    LoadReport::TenantRow* row =
+        multi_tenant ? &report.tenants[static_cast<size_t>(tenant_of[id])]
+                     : nullptr;
     std::snprintf(line, sizeof(line), "%zu ", id);
     digest.Add(line);
+    if (row != nullptr) {
+      // Tenant labels are part of the determinism contract in a mix:
+      // a reassignment across thread counts must poison the digest.
+      digest.Add("t=");
+      digest.Add(row->name);
+      digest.Add(" ");
+      ++row->offered;
+    }
     switch (slot.outcome) {
       case Outcome::kPending:
         digest.Add("pending\n");  // unreachable; poisons the digest if not
         break;
       case Outcome::kRejectedRate:
         ++report.rejected_rate;
+        if (row != nullptr) ++row->rejected;
         digest.Add("rejected_rate\n");
         break;
       case Outcome::kRejectedQueueFull:
         ++report.rejected_queue_full;
+        if (row != nullptr) ++row->rejected;
         digest.Add("rejected_queue_full\n");
+        break;
+      case Outcome::kRejectedTenantRate:
+        ++report.rejected_tenant_rate;
+        if (row != nullptr) ++row->rejected;
+        digest.Add("rejected_tenant_rate\n");
         break;
       case Outcome::kShedDeadline:
         ++report.shed_deadline;
+        if (row != nullptr) ++row->shed;
         digest.Add("shed_deadline\n");
         break;
       case Outcome::kShedDrain:
         ++report.shed_drain;
+        if (row != nullptr) ++row->shed;
         digest.Add("shed_drain\n");
         break;
       case Outcome::kServed: {
         ++report.admitted;
+        if (row != nullptr) ++row->admitted;
         int level = std::clamp(slot.options.brownout_level, 0,
                                kNumBrownoutLevels - 1);
         ++report.served_at_level[level];
         if (slot.deadline_us == 0 || slot.finish_us <= slot.deadline_us) {
           ++report.served_within_deadline;
+          if (row != nullptr) ++row->served_within_deadline;
         } else {
           ++report.served_late;
         }

@@ -2,13 +2,32 @@
 #define CODES_SERVE_LOAD_GEN_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "core/pipeline.h"
+#include "retrieval/value_retriever.h"
 #include "serve/front_end.h"
 
 namespace codes {
 namespace serve {
+
+/// One tenant's slice of a multi-tenant campaign's offered traffic.
+struct TenantTraffic {
+  std::string name;
+  /// Relative arrival share outside burst windows. A tenant whose share
+  /// exceeds its admission weight is "hot": open-loop traffic above its
+  /// fair rate that the weighted-fair limiter must clip.
+  double share = 1.0;
+  /// Relative share during burst windows (adversarial tenants spike
+  /// here); negative = same as `share`.
+  double burst_share = -1.0;
+  /// Restrict this tenant's questions to dev samples with this db_index;
+  /// -1 = draw from the whole dev set.
+  int db_index = -1;
+};
 
 /// Configuration of one open-loop saturation campaign.
 struct LoadGenOptions {
@@ -32,6 +51,25 @@ struct LoadGenOptions {
   FrontEndOptions front_end;
   /// Optional failpoint campaign spec, configured with `seed`.
   std::string failpoint_spec;
+
+  /// Multi-tenant traffic mix; empty = legacy single-tenant campaign
+  /// whose report, Summary, and digest are byte-identical to builds that
+  /// predate tenancy. Tenant ids are indexes into this vector and must
+  /// line up with FrontEndOptions::tenant_names and the admission specs.
+  std::vector<TenantTraffic> tenants;
+  /// Burst windows for adversarial tenants: the first `burst_duty`
+  /// fraction of every `burst_period_us` of virtual time uses each
+  /// tenant's burst_share instead of share. 0 disables windows.
+  uint64_t burst_period_us = 0;
+  double burst_duty = 0.0;
+  /// Called on the DES thread when a multi-tenant request is dispatched;
+  /// returns the tenant's value-retriever lease, which the campaign pins
+  /// until the request's virtual completion and injects as
+  /// ServeOptions::value_retriever. This is how a FleetManager plugs in
+  /// without the serving layer depending on the fleet layer. Null
+  /// function (or null return) = use the pipeline's own retriever cache.
+  std::function<std::shared_ptr<const ValueRetriever>(int tenant)>
+      tenant_attach;
 };
 
 /// What one campaign did, accounted per request (independent of the
@@ -41,6 +79,9 @@ struct LoadReport {
   uint64_t admitted = 0;
   uint64_t rejected_rate = 0;
   uint64_t rejected_queue_full = 0;
+  /// Clipped by the per-tenant weighted-fair limiter before the global
+  /// bucket was consulted. Always 0 in single-tenant campaigns.
+  uint64_t rejected_tenant_rate = 0;
   uint64_t shed_deadline = 0;
   uint64_t shed_drain = 0;
   uint64_t served_within_deadline = 0;
@@ -53,11 +94,28 @@ struct LoadReport {
   /// Virtual time of the last processed event.
   uint64_t end_us = 0;
   /// FNV-1a over one outcome line per request, folded in request-id order
-  /// — the number CI compares across real thread counts.
+  /// — the number CI compares across real thread counts. Multi-tenant
+  /// campaigns fold the tenant name into each line; single-tenant
+  /// campaigns produce the exact pre-tenancy byte stream.
   uint64_t digest = 0;
+
+  /// Per-tenant slice of the same accounting; row i is tenant id i.
+  /// Empty for single-tenant campaigns. The per-tenant invariant
+  /// admitted + rejected + shed == offered holds for every row.
+  struct TenantRow {
+    std::string name;
+    uint64_t offered = 0;
+    uint64_t admitted = 0;
+    uint64_t rejected = 0;  ///< rate + queue_full + tenant_rate
+    uint64_t shed = 0;      ///< deadline + drain
+    uint64_t served_within_deadline = 0;
+  };
+  std::vector<TenantRow> tenants;
 
   /// Requests served before their deadline per virtual second.
   double GoodputQps() const;
+  /// Same, for one tenant row.
+  double TenantGoodputQps(size_t row) const;
   /// Deterministic multi-line rendering (campaign stdout).
   std::string Summary() const;
 };

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <future>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,106 @@ TEST(TokenBucketTest, RefillCapsAtBurst) {
   EXPECT_TRUE(bucket.TryAcquire(10'000'000));
   EXPECT_TRUE(bucket.TryAcquire(10'000'000));
   EXPECT_FALSE(bucket.TryAcquire(10'000'000));
+}
+
+TEST(TokenBucketTest, VirtualClockJumpSaturatesAtBurst) {
+  // The idle-gap regression (ISSUE 9): a virtual clock that jumps by an
+  // arbitrarily long gap — decades of idle microseconds — must refill to
+  // exactly `burst`, never to a mega-burst that admits everything.
+  TokenBucket bucket(1000.0, 4.0);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(bucket.TryAcquire(0));
+  EXPECT_FALSE(bucket.TryAcquire(0));
+
+  const uint64_t kFarFuture = ~0ULL / 2;  // ~292k years of microseconds
+  EXPECT_DOUBLE_EQ(bucket.tokens_at(kFarFuture), 4.0);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(bucket.TryAcquire(kFarFuture));
+  EXPECT_FALSE(bucket.TryAcquire(kFarFuture))
+      << "idle gap banked more than burst";
+
+  // Even when the accrual arithmetic itself overflows to +inf, the
+  // refill lands on burst instead of poisoning the token count.
+  TokenBucket extreme(1e300, 2.0);
+  EXPECT_TRUE(extreme.TryAcquire(0));
+  EXPECT_TRUE(extreme.TryAcquire(0));
+  EXPECT_FALSE(extreme.TryAcquire(0));
+  EXPECT_DOUBLE_EQ(extreme.tokens_at(kFarFuture), 2.0);
+  EXPECT_TRUE(extreme.TryAcquire(kFarFuture));
+  EXPECT_TRUE(extreme.TryAcquire(kFarFuture));
+  EXPECT_FALSE(extreme.TryAcquire(kFarFuture));
+}
+
+TEST(TokenBucketTest, NonFiniteParametersAreSanitized) {
+  const double kNan = std::numeric_limits<double>::quiet_NaN();
+  const double kInf = std::numeric_limits<double>::infinity();
+
+  // Non-finite rate = no meaningful refill: treated as unlimited, the
+  // same contract as rate <= 0 — never as "reject everything" and never
+  // as a NaN tokens_ that admits everything while claiming to limit.
+  TokenBucket nan_rate(kNan, 4.0);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(nan_rate.TryAcquire(0));
+  TokenBucket inf_rate(kInf, 4.0);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(inf_rate.TryAcquire(0));
+
+  // A NaN burst would make every comparison false; it clamps to 1 so the
+  // bucket still limits at the configured rate.
+  TokenBucket nan_burst(10.0, kNan);
+  EXPECT_TRUE(nan_burst.TryAcquire(0));
+  EXPECT_FALSE(nan_burst.TryAcquire(0));
+  EXPECT_FALSE(nan_burst.TryAcquire(50'000));
+  EXPECT_TRUE(nan_burst.TryAcquire(110'000));
+}
+
+// ------------------------------------------------------ weighted-fair limiter
+
+TEST(WeightedFairLimiterTest, PartitionsCapacityByWeight) {
+  std::vector<WeightedFairLimiter::TenantSpec> tenants(3);
+  tenants[0].weight = 2.0;
+  tenants[1].weight = 1.0;
+  tenants[2].weight = 1.0;
+  WeightedFairLimiter limiter(100.0, tenants);
+  ASSERT_EQ(limiter.NumTenants(), 3u);
+  EXPECT_DOUBLE_EQ(limiter.RateOf(0), 50.0);
+  EXPECT_DOUBLE_EQ(limiter.RateOf(1), 25.0);
+  EXPECT_DOUBLE_EQ(limiter.RateOf(2), 25.0);
+}
+
+TEST(WeightedFairLimiterTest, HotTenantCannotDrainAnotherTenantsShare) {
+  std::vector<WeightedFairLimiter::TenantSpec> tenants(2);
+  tenants[0].burst = 2.0;
+  tenants[1].burst = 2.0;
+  WeightedFairLimiter limiter(20.0, tenants);  // 10 qps each
+
+  // Tenant 0 floods at t=0: it gets its burst and nothing more.
+  int admitted = 0;
+  for (int i = 0; i < 100; ++i) admitted += limiter.TryAcquire(0, 0);
+  EXPECT_EQ(admitted, 2);
+
+  // Tenant 1 is untouched by the flood — its own bucket is full.
+  EXPECT_TRUE(limiter.TryAcquire(1, 0));
+  EXPECT_TRUE(limiter.TryAcquire(1, 0));
+  EXPECT_FALSE(limiter.TryAcquire(1, 0));
+
+  // Over one second, each tenant accrues at its own 10 qps rate no
+  // matter how hard the other one hammers.
+  int t0 = 0;
+  int t1 = 0;
+  for (uint64_t us = 100'000; us <= 1'000'000; us += 100'000) {
+    for (int i = 0; i < 50; ++i) t0 += limiter.TryAcquire(0, us);
+    t1 += limiter.TryAcquire(1, us);
+  }
+  EXPECT_GE(t1, 8) << "victim starved by the hot tenant";
+  EXPECT_LE(t0, 12) << "hot tenant exceeded its fair share";
+}
+
+TEST(WeightedFairLimiterTest, DisabledAndOutOfRangeAlwaysAdmit) {
+  std::vector<WeightedFairLimiter::TenantSpec> tenants(2);
+  WeightedFairLimiter disabled(0.0, tenants);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(disabled.TryAcquire(0, 0));
+
+  WeightedFairLimiter limiter(10.0, tenants);
+  EXPECT_TRUE(limiter.TryAcquire(-1, 0));  // single-tenant traffic
+  EXPECT_TRUE(limiter.TryAcquire(99, 0));  // out of range: not limited here
+  EXPECT_DOUBLE_EQ(limiter.RateOf(-1), 0.0);
 }
 
 // ----------------------------------------------------------- deadline queue
@@ -141,6 +242,35 @@ TEST(AdmissionControllerTest, NamesAreStable) {
   EXPECT_STREQ(AdmissionName(Admission::kRejectedRate), "rejected_rate");
   EXPECT_STREQ(AdmissionName(Admission::kRejectedQueueFull),
                "rejected_queue_full");
+  EXPECT_STREQ(AdmissionName(Admission::kRejectedTenantRate),
+               "rejected_tenant_rate");
+}
+
+TEST(AdmissionControllerTest, TenantLimiterCheckedBeforeGlobalBucket) {
+  AdmissionController::Options options;
+  options.rate_per_sec = 100.0;  // generous global bucket
+  options.burst = 100.0;
+  options.queue_capacity = 64;
+  options.tenant_capacity_qps = 20.0;
+  options.tenants.resize(2);  // 10 qps each
+  options.tenants[0].burst = 1.0;
+  options.tenants[1].burst = 1.0;
+  AdmissionController controller(options);
+
+  auto offer = [&](uint64_t id, int tenant, uint64_t now_us) {
+    QueuedRequest request = Req(id, now_us, 0);
+    request.tenant = tenant;
+    return controller.Offer(request, now_us);
+  };
+
+  // Tenant 0 spends its token; its next request is clipped by the
+  // weighted-fair layer even though the global bucket has 99 tokens
+  // left — the hot tenant's excess never drains the shared pool.
+  EXPECT_EQ(offer(0, 0, 0), Admission::kEnqueued);
+  EXPECT_EQ(offer(1, 0, 0), Admission::kRejectedTenantRate);
+  // Tenant 1 and untagged single-tenant traffic are unaffected.
+  EXPECT_EQ(offer(2, 1, 0), Admission::kEnqueued);
+  EXPECT_EQ(offer(3, -1, 0), Admission::kEnqueued);
 }
 
 // ---------------------------------------------------------- circuit breaker
@@ -368,6 +498,68 @@ TEST_F(ServeFrontEndTest, ExplicitTimeAccountingSumsToOffered) {
                 CounterDelta(snapshot, "serve.rejected") +
                 CounterDelta(snapshot, "serve.shed"),
             CounterDelta(snapshot, "serve.offered"));
+}
+
+TEST_F(ServeFrontEndTest, PerTenantAccountingSumsToOfferedPerTenant) {
+  FrontEndOptions options;
+  options.tenant_names = {"alpha", "beta"};
+  options.admission.queue_capacity = 2;
+  options.admission.tenant_capacity_qps = 20.0;  // 10 qps per tenant
+  options.admission.tenants.resize(2);
+  options.admission.tenants[0].burst = 1.0;
+  // Beta gets headroom so its rejections exercise the queue, not the
+  // tenant bucket.
+  options.admission.tenants[1].burst = 3.0;
+  ServeFrontEnd fe(pipeline_, bench_, options);
+
+  // alpha: one admitted, one clipped by its tenant bucket.
+  EXPECT_EQ(fe.Offer(0, 0, 0, /*tenant=*/0), Admission::kEnqueued);
+  EXPECT_EQ(fe.Offer(1, 0, 0, /*tenant=*/0), Admission::kRejectedTenantRate);
+  // beta: one admitted (queue now full), one rejected queue-full, one
+  // with a deadline that will expire before it is dequeued.
+  EXPECT_EQ(fe.Offer(2, 0, 0, /*tenant=*/1), Admission::kEnqueued);
+  EXPECT_EQ(fe.Offer(3, 0, 100'000, /*tenant=*/1),
+            Admission::kRejectedQueueFull);
+
+  QueuedRequest out;
+  ASSERT_TRUE(fe.Dequeue(200'000, &out));
+  EXPECT_EQ(fe.Offer(4, /*deadline_us=*/250'000, 200'000, /*tenant=*/1),
+            Admission::kEnqueued);
+
+  // Past request 4's deadline: it sheds at dequeue, attributed to beta;
+  // the remaining live request serves.
+  std::vector<QueuedRequest> shed;
+  ASSERT_TRUE(fe.Dequeue(300'000, &out, &shed));
+  ASSERT_EQ(shed.size(), 1u);
+  EXPECT_EQ(shed[0].id, 4u);
+  EXPECT_EQ(shed[0].tenant, 1);
+  EXPECT_FALSE(fe.Dequeue(300'000, &out));
+
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  // Global family still sums.
+  EXPECT_EQ(CounterDelta(snapshot, "serve.offered"), 5u);
+  EXPECT_EQ(CounterDelta(snapshot, "serve.rejected.tenant_rate"), 1u);
+  EXPECT_EQ(CounterDelta(snapshot, "serve.admitted") +
+                CounterDelta(snapshot, "serve.rejected") +
+                CounterDelta(snapshot, "serve.shed"),
+            CounterDelta(snapshot, "serve.offered"));
+  // Per-tenant families sum independently, and partition the global one.
+  EXPECT_EQ(CounterDelta(snapshot, "serve.tenant.alpha.offered"), 2u);
+  EXPECT_EQ(CounterDelta(snapshot, "serve.tenant.alpha.admitted"), 1u);
+  EXPECT_EQ(CounterDelta(snapshot, "serve.tenant.alpha.rejected"), 1u);
+  EXPECT_EQ(CounterDelta(snapshot, "serve.tenant.alpha.shed"), 0u);
+  EXPECT_EQ(CounterDelta(snapshot, "serve.tenant.beta.offered"), 3u);
+  EXPECT_EQ(CounterDelta(snapshot, "serve.tenant.beta.admitted"), 1u);
+  EXPECT_EQ(CounterDelta(snapshot, "serve.tenant.beta.rejected"), 1u);
+  EXPECT_EQ(CounterDelta(snapshot, "serve.tenant.beta.shed"), 1u);
+  for (const char* name : {"alpha", "beta"}) {
+    std::string p = std::string("serve.tenant.") + name + ".";
+    EXPECT_EQ(CounterDelta(snapshot, (p + "admitted").c_str()) +
+                  CounterDelta(snapshot, (p + "rejected").c_str()) +
+                  CounterDelta(snapshot, (p + "shed").c_str()),
+              CounterDelta(snapshot, (p + "offered").c_str()))
+        << name;
+  }
 }
 
 TEST_F(ServeFrontEndTest, DrainShedsLeftoverQueue) {
