@@ -817,6 +817,63 @@ void AdmissionOverheadSection(const Text2SqlBenchmark& bench,
   report->AddNoisy("admission_overhead_pct", overhead_pct);
 }
 
+/// What the request-hardening front door costs clean traffic: the same
+/// front-end Serve loop with hardening off vs on. Dev questions are plain
+/// ASCII, so the sanitized tier is byte-identical to the input and the
+/// whole pass is validation work — UTF-8 scan, control scan,
+/// canonicalization, anomaly score. Budget: <= 2%, same as the guards.
+void HardeningOverheadSection(const Text2SqlBenchmark& bench,
+                              const CodesPipeline& pipeline, int queries,
+                              bench::PerfReport* report) {
+  bench::Banner("Hardening overhead: front-end Serve, harden off vs on");
+
+  serve::FrontEndOptions fe;
+  fe.limits.max_rows = 50'000'000;
+  fe.limits.max_bytes = static_cast<size_t>(1) << 40;
+  fe.limits.max_depth = 64;
+  fe.admission.queue_capacity = 4096;  // fullness ~0: brownout never moves
+  fe.breaker.failure_threshold = 1.1;  // ratio tops out at 1.0: never trips
+  fe.harden.enabled = false;
+  serve::ServeFrontEnd unhardened(&pipeline, &bench, fe);
+  fe.harden.enabled = true;
+  serve::ServeFrontEnd hardened(&pipeline, &bench, fe);
+
+  auto run = [&](serve::ServeFrontEnd& front_end) {
+    Timer timer;
+    int n = 0;
+    while (n < queries) {
+      for (const auto& sample : bench.dev) {
+        if (n >= queries) break;
+        std::string sql;
+        (void)front_end.Serve(sample, &sql);
+        ++n;
+      }
+    }
+    return timer.ElapsedSeconds();
+  };
+
+  // Interleaved best-of-3, exactly like the admission section.
+  double best_off = run(unhardened);
+  double best_on = run(hardened);
+  for (int rep = 1; rep < 3; ++rep) {
+    best_off = std::min(best_off, run(unhardened));
+    best_on = std::min(best_on, run(hardened));
+  }
+  double overhead_pct = 100.0 * (best_on - best_off) / best_off;
+
+  bench::TablePrinter table({24, 12, 14});
+  table.Row({"path", "seconds", "ms / sample"});
+  table.Separator();
+  table.Row({"Serve, harden off", FormatDouble(best_off, 3),
+             FormatDouble(1000.0 * best_off / queries, 3)});
+  table.Row({"Serve, harden on", FormatDouble(best_on, 3),
+             FormatDouble(1000.0 * best_on / queries, 3)});
+  std::printf("\nhardening overhead on clean traffic: %+.2f%% "
+              "(budget: <= 2%%)\n",
+              overhead_pct);
+  report->AddNoisy("hardening_overhead_pct", overhead_pct);
+}
+
 void Run(bench::PerfReport* report, bool quick) {
   HotPathSection(report, quick);
   StorageAccessPathSection(report, quick);
@@ -890,6 +947,7 @@ void Run(bench::PerfReport* report, bool quick) {
     ChaosTailLatencySection(spider, pipeline, /*queries=*/quick ? 150 : 500);
     OverloadGoodputSection(spider, pipeline);
     AdmissionOverheadSection(spider, pipeline, q, report);
+    HardeningOverheadSection(spider, pipeline, q, report);
   }
 }
 

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <limits>
 
@@ -182,6 +183,73 @@ bool ParseFiniteDouble(std::string_view s, double* out) {
   if (!std::isfinite(value)) return false;  // rejects "inf", "nan"
   *out = value;
   return true;
+}
+
+namespace {
+
+/// Length (1-4) of the well-formed UTF-8 sequence starting at `s[i]`, or
+/// 0 when the bytes there are ill-formed: a stray continuation byte, a
+/// 0xC0/0xC1/0xF5+ lead byte, a truncated tail, an overlong encoding, a
+/// UTF-16 surrogate, or a code point past U+10FFFF.
+size_t Utf8SequenceLength(std::string_view s, size_t i) {
+  unsigned char b0 = static_cast<unsigned char>(s[i]);
+  if (b0 < 0x80) return 1;
+  size_t len;
+  uint32_t cp;
+  if (b0 >= 0xC2 && b0 <= 0xDF) {
+    len = 2;
+    cp = b0 & 0x1Fu;
+  } else if (b0 >= 0xE0 && b0 <= 0xEF) {
+    len = 3;
+    cp = b0 & 0x0Fu;
+  } else if (b0 >= 0xF0 && b0 <= 0xF4) {
+    len = 4;
+    cp = b0 & 0x07u;
+  } else {
+    return 0;  // continuation byte or invalid lead (0xC0/0xC1 are overlong)
+  }
+  if (i + len > s.size()) return 0;  // truncated at end of input
+  for (size_t k = 1; k < len; ++k) {
+    unsigned char b = static_cast<unsigned char>(s[i + k]);
+    if ((b & 0xC0) != 0x80) return 0;  // truncated mid-sequence
+    cp = (cp << 6) | (b & 0x3Fu);
+  }
+  if (len == 3 && cp < 0x800) return 0;    // overlong 3-byte form
+  if (len == 4 && cp < 0x10000) return 0;  // overlong 4-byte form
+  if (cp >= 0xD800 && cp <= 0xDFFF) return 0;  // UTF-16 surrogate half
+  if (cp > 0x10FFFF) return 0;
+  return len;
+}
+
+}  // namespace
+
+bool IsValidUtf8(std::string_view s) {
+  size_t i = 0;
+  while (i < s.size()) {
+    size_t len = Utf8SequenceLength(s, i);
+    if (len == 0) return false;
+    i += len;
+  }
+  return true;
+}
+
+std::string RepairUtf8(std::string_view s) {
+  if (IsValidUtf8(s)) return std::string(s);
+  static constexpr char kReplacement[] = "\xEF\xBF\xBD";  // U+FFFD
+  std::string out;
+  out.reserve(s.size());
+  size_t i = 0;
+  while (i < s.size()) {
+    size_t len = Utf8SequenceLength(s, i);
+    if (len == 0) {
+      out += kReplacement;
+      ++i;
+    } else {
+      out.append(s.substr(i, len));
+      i += len;
+    }
+  }
+  return out;
 }
 
 std::string IdentifierToPhrase(std::string_view identifier) {

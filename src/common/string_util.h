@@ -52,6 +52,21 @@ bool ParseSize(std::string_view s, size_t* out);
 /// Finite decimal doubles only ("0.25", "1e-3"); rejects inf/nan.
 bool ParseFiniteDouble(std::string_view s, double* out);
 
+/// True when `s` is well-formed UTF-8. Strict: truncated sequences,
+/// stray continuation bytes, overlong encodings, UTF-16 surrogates, and
+/// code points above U+10FFFF all fail. ASCII is trivially valid.
+bool IsValidUtf8(std::string_view s);
+
+/// Returns `s` with every ill-formed byte replaced by U+FFFD (the
+/// replacement character), deterministically: one U+FFFD per bad byte, so
+/// the same input always repairs to the same output and a truncated
+/// 3-byte sequence yields exactly as many replacements as it has bytes.
+/// Well-formed input comes back byte-identical. This is the ingest gate
+/// in front of the ASCII-only case folds above: those pass bytes >= 0x80
+/// through untouched, which is only safe once the sequence structure has
+/// been validated here.
+std::string RepairUtf8(std::string_view s);
+
 /// Turns an identifier like "stu_id" or "StudentName" into a lowercase
 /// word sequence: "stu id", "student name". Used to render schema names as
 /// natural-language phrases.

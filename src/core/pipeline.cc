@@ -36,6 +36,18 @@ struct ServeMetrics {
       &MetricsRegistry::Global().GetCounter("serve.rung.emergency_sql")};
   Counter& outcome_clean =
       MetricsRegistry::Global().GetCounter("serve.outcome.clean");
+  /// Adversarial-input partition: every request is exactly one of
+  /// adv.clean / adv.suspect, so the pair always sums to serve.requests
+  /// (the invariant the adversarial CI leg asserts). The retry counters
+  /// track the canonical-question second chance suspect requests get.
+  Counter& adv_clean =
+      MetricsRegistry::Global().GetCounter("serve.adv.clean");
+  Counter& adv_suspect =
+      MetricsRegistry::Global().GetCounter("serve.adv.suspect");
+  Counter& adv_retry =
+      MetricsRegistry::Global().GetCounter("serve.adv.retry");
+  Counter& adv_retry_served =
+      MetricsRegistry::Global().GetCounter("serve.adv.retry_served");
   Counter* outcome[4] = {
       &MetricsRegistry::Global().GetCounter(
           "serve.outcome.classifier_fallback"),
@@ -71,6 +83,11 @@ RetrieverCacheMetrics& CacheMetrics() {
 void RecordServeReport(const ServeReport& report) {
   ServeMetrics& m = Metrics();
   m.requests.Increment();
+  (report.suspect ? m.adv_suspect : m.adv_clean).Increment();
+  if (report.canonical_retries > 0) {
+    m.adv_retry.Increment(static_cast<uint64_t>(report.canonical_retries));
+    if (report.canonical_served) m.adv_retry_served.Increment();
+  }
   (report.execution_verified ? m.verified : m.unverified).Increment();
   if (report.repair_attempts > 0) {
     m.repair_attempts.Increment(static_cast<uint64_t>(report.repair_attempts));
@@ -149,6 +166,13 @@ std::string ServeReport::ToString() const {
   out += " rank=" + std::to_string(candidate_rank);
   out += execution_verified ? " verified" : " unverified";
   out += " brownout=" + std::to_string(brownout_level);
+  // Adversarial fields render only when set, so every pre-existing
+  // digest (chaos, load, crash campaigns) stays byte-identical for
+  // clean traffic.
+  if (suspect) {
+    out += " adv=suspect retries=" + std::to_string(canonical_retries);
+    if (canonical_served) out += " canonical";
+  }
   out += " status=";
   out += StatusCodeName(final_status.code());
   return out;
@@ -429,6 +453,7 @@ std::string CodesPipeline::PredictGuarded(const Text2SqlBenchmark& bench,
   ServeReport& rep = report != nullptr ? *report : scratch;
   rep = ServeReport();
   rep.brownout_level = options.brownout_level;
+  rep.suspect = options.suspect;
 
   // The per-sample generation seed doubles as the failpoint slot: it
   // identifies this request independently of scheduling, so fault
@@ -485,50 +510,92 @@ std::string CodesPipeline::PredictGuarded(const Text2SqlBenchmark& bench,
   const sql::ExecSource& verify_db =
       options.verify_source != nullptr ? *options.verify_source : db;
 
-  // Ladder rung 3: walk the beam in rank order and serve the first
+  // Ladder rung 3: walk a beam in rank order and serve the first
   // candidate that decodes and executes under the guard. Every failed
   // candidate is one bounded repair attempt; with no faults and no budgets
-  // this reproduces the paper's first-executable selection exactly.
+  // this reproduces the paper's first-executable selection exactly. The
+  // walk is shared with the canonical retry below, which re-enters it
+  // with whatever attempt budget the primary beam left unspent.
   std::string fallback_sql;
   int fallback_rank = -1;
   Status last_error;
   int attempts = 0;
-  for (size_t i = 0; i < beam.size(); ++i) {
-    if (attempts >= options.max_repair_attempts) break;
-    const std::string& sql = beam[i].sql;
-    if (sql.empty()) continue;
-    if (fallback_rank < 0) {
-      fallback_sql = sql;
-      fallback_rank = static_cast<int>(i);
-    }
-    if (attempts > 0) {
-      double ms = ComputeBackoffMs(attempts, options.backoff_base_ms,
-                                   options.backoff_cap_ms);
-      if (ms > 0.0) {
-        Metrics().backoff_sleeps.Increment();
-        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+  auto walk = [&](const auto& candidates) -> int {
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (attempts >= options.max_repair_attempts) break;
+      const std::string& sql = candidates[i].sql;
+      if (sql.empty()) continue;
+      if (fallback_rank < 0) {
+        fallback_sql = sql;
+        fallback_rank = static_cast<int>(i);
       }
+      if (attempts > 0) {
+        double ms = ComputeBackoffMs(attempts, options.backoff_base_ms,
+                                     options.backoff_cap_ms);
+        if (ms > 0.0) {
+          Metrics().backoff_sleeps.Increment();
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(ms));
+        }
+      }
+      Status exec_status;
+      if (Failpoints::ShouldFail(FailpointSite::kLmDecode)) {
+        exec_status = Failpoints::FailStatus(FailpointSite::kLmDecode);
+      } else {
+        // Row/byte budgets are per-candidate; the deadline keeps running
+        // across the whole request.
+        guard.ResetUsage();
+        exec_status = sql::ExecuteSql(verify_db, sql, &guard).status();
+      }
+      if (exec_status.ok()) return static_cast<int>(i);
+      last_error = exec_status;
+      ++attempts;
     }
-    Status exec_status;
-    if (Failpoints::ShouldFail(FailpointSite::kLmDecode)) {
-      exec_status = Failpoints::FailStatus(FailpointSite::kLmDecode);
-    } else {
-      // Row/byte budgets are per-candidate; the deadline keeps running
-      // across the whole request.
-      guard.ResetUsage();
-      exec_status = sql::ExecuteSql(verify_db, sql, &guard).status();
+    return -1;
+  };
+  auto serve_verified = [&](const std::string& sql, int rank) {
+    if (attempts > 0) rep.AddRung(ServeRung::kRepair);
+    rep.repair_attempts = attempts;
+    rep.candidate_rank = rank;
+    rep.execution_verified = true;
+    rep.final_status = Status::Ok();
+    RecordServeReport(rep);
+    return sql;
+  };
+
+  int verified_rank = walk(beam);
+  if (verified_rank >= 0) {
+    return serve_verified(beam[verified_rank].sql, verified_rank);
+  }
+
+  // Perturbation-aware degradation: before conceding to the unverified /
+  // emergency rungs, a suspect request gets one retry against the
+  // canonicalized question (zero-width stripped, confusables folded,
+  // whitespace collapsed). The retry spends the repair budget the primary
+  // beam left over and runs inside the same failpoint scope, so campaigns
+  // replay thread-count invariantly; the prompt is rebuilt because
+  // canonicalization is precisely what hands the schema classifier and
+  // value retriever cleaner text. Counted under serve.adv.retry*, and the
+  // retry's own generation/verification lands in the verify span.
+  if (options.suspect && !options.canonical_question.empty() &&
+      options.canonical_question != sample.question &&
+      attempts < options.max_repair_attempts) {
+    rep.canonical_retries = 1;
+    Text2SqlSample canonical = sample;
+    canonical.question = options.canonical_question;
+    DatabasePrompt retry_prompt =
+        BuildPromptInternal(bench, canonical, &guard, &rep, &options);
+    GenerationInput retry_input = input;
+    retry_input.prompt = &retry_prompt;
+    retry_input.question = canonical.question;
+    auto retry_beam = model_.GenerateBeam(
+        retry_input, config_.seed ^ HashString(canonical.question),
+        /*mark_executable=*/false);
+    int retry_rank = walk(retry_beam);
+    if (retry_rank >= 0) {
+      rep.canonical_served = true;
+      return serve_verified(retry_beam[retry_rank].sql, retry_rank);
     }
-    if (exec_status.ok()) {
-      if (attempts > 0) rep.AddRung(ServeRung::kRepair);
-      rep.repair_attempts = attempts;
-      rep.candidate_rank = static_cast<int>(i);
-      rep.execution_verified = true;
-      rep.final_status = Status::Ok();
-      RecordServeReport(rep);
-      return sql;
-    }
-    last_error = exec_status;
-    ++attempts;
   }
 
   rep.repair_attempts = attempts;

@@ -133,6 +133,23 @@ struct ServeOptions {
   /// copied into ServeReport for digests and metrics, not interpreted
   /// by the pipeline itself.
   int brownout_level = 0;
+
+  // --- Adversarial-input handling (set by the hardening front door;
+  // src/serve/harden) --------------------------------------------------
+
+  /// The hardening pass flagged this request (structural repair fired or
+  /// the anomaly score crossed the threshold). Partition flag: every
+  /// request lands in exactly one of serve.adv.clean / serve.adv.suspect,
+  /// which always sum to serve.requests. Default false, so direct
+  /// Predict/eval/chaos callers all count as clean.
+  bool suspect = false;
+  /// Canonicalized form of the question (zero-width stripped, confusables
+  /// folded to ASCII, whitespace collapsed). When a *suspect* request's
+  /// beam produces no verified candidate, PredictGuarded retries once
+  /// against this form — bounded by the same max_repair_attempts budget —
+  /// before falling to the unverified/emergency rungs. Empty (or equal to
+  /// the question) disables the retry.
+  std::string canonical_question;
 };
 
 /// What happened while serving one request. Never reports failure to
@@ -148,6 +165,13 @@ struct ServeReport {
   /// Brownout level the request was served at (ServeOptions::brownout_level
   /// echoed back; 0 when the caller never set one).
   int brownout_level = 0;
+  /// ServeOptions::suspect echoed back (the serve.adv.* partition).
+  bool suspect = false;
+  /// 1 when the canonical-question retry ran (suspect request whose
+  /// primary beam failed verification), 0 otherwise.
+  int canonical_retries = 0;
+  /// True when the served SQL came from the canonical retry's beam.
+  bool canonical_served = false;
   /// OK when fully verified; otherwise the last error seen on the ladder.
   Status final_status;
 

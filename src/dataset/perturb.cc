@@ -194,6 +194,153 @@ std::string VowelStripAbbreviate(const std::string& word) {
   return out;
 }
 
+const char* QuestionMutationName(QuestionMutation kind) {
+  switch (kind) {
+    case QuestionMutation::kSynonym:
+      return "synonym";
+    case QuestionMutation::kTypo:
+      return "typo";
+    case QuestionMutation::kParaphrase:
+      return "paraphrase";
+    case QuestionMutation::kValueSwap:
+      return "value-swap";
+    case QuestionMutation::kSchemaNoise:
+      return "schema-noise";
+    case QuestionMutation::kNumMutations:
+      break;
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Byte positions of ASCII letters outside single-quoted spans —
+/// the only characters the typo mutation is allowed to touch (quoted
+/// values carry exact-match semantics).
+std::vector<size_t> LetterPositionsOutsideQuotes(const std::string& s) {
+  std::vector<size_t> positions;
+  bool in_quote = false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (c == '\'') {
+      in_quote = !in_quote;
+    } else if (!in_quote && std::isalpha(static_cast<unsigned char>(c))) {
+      positions.push_back(i);
+    }
+  }
+  return positions;
+}
+
+/// Dictionary-driven mutation: every pair flips a coin; heads replaces
+/// forward (from -> to), tails backward — so a question already phrased
+/// with the "to" side still mutates.
+std::string ApplyDictionaryMutation(
+    const std::string& question,
+    const std::vector<std::pair<std::string, std::string>>& table,
+    double forward_p, Rng* rng) {
+  std::string out = question;
+  for (const auto& [from, to] : table) {
+    if (rng->Bernoulli(forward_p)) {
+      out = ReplaceWordOutsideQuotes(out, from, to);
+    } else {
+      out = ReplaceWordOutsideQuotes(out, to, from);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MutateQuestion(const std::string& question, QuestionMutation kind,
+                           uint64_t seed) {
+  Rng rng(seed);
+  switch (kind) {
+    case QuestionMutation::kSynonym:
+      return ApplyDictionaryMutation(question, SynonymTable(), 0.75, &rng);
+    case QuestionMutation::kParaphrase:
+      return ApplyDictionaryMutation(question, KeywordSynonymTable(), 0.85,
+                                     &rng);
+    case QuestionMutation::kTypo: {
+      std::string out = question;
+      size_t edits = 1 + question.size() / 24;
+      for (size_t e = 0; e < edits; ++e) {
+        std::vector<size_t> positions = LetterPositionsOutsideQuotes(out);
+        if (positions.empty()) break;
+        size_t pos = positions[rng.Index(positions.size())];
+        switch (rng.UniformInt(0, 2)) {
+          case 0:  // swap with the next character when it is also a letter
+            if (pos + 1 < out.size() &&
+                std::isalpha(static_cast<unsigned char>(out[pos + 1]))) {
+              std::swap(out[pos], out[pos + 1]);
+            }
+            break;
+          case 1:  // drop
+            out.erase(pos, 1);
+            break;
+          default:  // double
+            out.insert(pos, 1, out[pos]);
+            break;
+        }
+      }
+      return out;
+    }
+    case QuestionMutation::kValueSwap: {
+      // Case-flip inside quoted values: the database keeps the original
+      // casing, so exact value match breaks while fuzzy match survives.
+      std::string out = question;
+      bool in_quote = false;
+      for (char& c : out) {
+        if (c == '\'') {
+          in_quote = !in_quote;
+        } else if (in_quote &&
+                   std::isalpha(static_cast<unsigned char>(c)) &&
+                   rng.Bernoulli(0.5)) {
+          c = std::isupper(static_cast<unsigned char>(c))
+                  ? static_cast<char>(std::tolower(c))
+                  : static_cast<char>(std::toupper(c));
+        }
+      }
+      return out;
+    }
+    case QuestionMutation::kSchemaNoise: {
+      // Unicode smuggling: NBSP for spaces, fullwidth homoglyphs for
+      // letters, zero-width insertions. Serve-side canonicalization folds
+      // every one of these back to the original ASCII.
+      static const char* const kZeroWidth[] = {
+          "\xE2\x80\x8B",  // ZWSP
+          "\xE2\x80\x8C",  // ZWNJ
+          "\xE2\x80\x8D",  // ZWJ
+          "\xEF\xBB\xBF",  // BOM-as-ZWNBSP
+      };
+      std::string out;
+      out.reserve(question.size() + 8);
+      for (char c : question) {
+        if (c == ' ' && rng.Bernoulli(0.4)) {
+          out += "\xC2\xA0";  // NBSP
+        } else if (std::isalpha(static_cast<unsigned char>(c)) &&
+                   rng.Bernoulli(0.08)) {
+          // Fullwidth form: U+FF01..U+FF5E = ASCII 0x21..0x7E + 0xFEE0.
+          uint32_t cp = static_cast<uint32_t>(
+                            static_cast<unsigned char>(c)) +
+                        0xFEE0;
+          out += static_cast<char>(0xE0 | (cp >> 12));
+          out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+          out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+          out += c;
+        }
+        if (rng.Bernoulli(0.06)) {
+          out += kZeroWidth[rng.Index(4)];
+        }
+      }
+      return out;
+    }
+    case QuestionMutation::kNumMutations:
+      break;
+  }
+  return question;
+}
+
 namespace {
 
 // ----------------------------------------------------- schema rename tools

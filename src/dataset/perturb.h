@@ -66,6 +66,33 @@ std::vector<std::string> ExpandWithSynonyms(
 /// AbbreviateIdentifier used by the BIRD profile.
 std::string VowelStripAbbreviate(const std::string& word);
 
+/// Online adversarial question mutations, used by `codes_load --adv` to
+/// mix perturbed traffic into a serving campaign. The first four stay
+/// structurally clean ASCII (they stress the pipeline's language
+/// robustness); kSchemaNoise injects zero-width characters, NBSP, and
+/// fullwidth homoglyphs — precisely what the serve-side hardening detects
+/// and its canonical retry folds back out.
+enum class QuestionMutation : int {
+  kSynonym = 0,    ///< schema-word synonym swaps (Spider-Syn style)
+  kTypo,           ///< keyboard slips: swap / drop / double a letter
+  kParaphrase,     ///< question-keyword paraphrases ("how many" -> ...)
+  kValueSwap,      ///< case-flip inside quoted values
+  kSchemaNoise,    ///< zero-width + homoglyph injection (hardening bait)
+  kNumMutations,   ///< sentinel
+};
+
+inline constexpr int kNumQuestionMutations =
+    static_cast<int>(QuestionMutation::kNumMutations);
+
+const char* QuestionMutationName(QuestionMutation kind);
+
+/// Applies one mutation to `question`. A pure function of
+/// (question, kind, seed) — same inputs give byte-identical output on any
+/// thread count, which is what lets the DES load generator pre-derive all
+/// mutations on the driver thread and keep campaign digests invariant.
+std::string MutateQuestion(const std::string& question, QuestionMutation kind,
+                           uint64_t seed);
+
 }  // namespace codes
 
 #endif  // CODES_DATASET_PERTURB_H_

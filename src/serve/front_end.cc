@@ -41,6 +41,11 @@ struct FrontEndMetrics {
       MetricsRegistry::Global().GetCounter("serve.brownout.degrade");
   Counter& brownout_recover =
       MetricsRegistry::Global().GetCounter("serve.brownout.recover");
+  /// Requests whose hardening verdict raised their brownout floor before
+  /// dispatch (the suspect side of the serve.adv.* partition; the
+  /// clean/suspect split itself is recorded by the pipeline).
+  Counter& adv_pre_degraded =
+      MetricsRegistry::Global().GetCounter("serve.adv.pre_degraded");
   Counter* served_level[kNumBrownoutLevels] = {
       &MetricsRegistry::Global().GetCounter("serve.brownout.served.l0"),
       &MetricsRegistry::Global().GetCounter("serve.brownout.served.l1"),
@@ -324,6 +329,20 @@ void ServeFrontEnd::ObserveFullnessLocked(double fullness, uint64_t now_us) {
   m.brownout_level.Set(after);
 }
 
+void ServeFrontEnd::MarkSuspect(ServeOptions* options,
+                                std::string canonical_question) const {
+  options->suspect = true;
+  options->canonical_question = std::move(canonical_question);
+  int floor = std::clamp(options_.harden.suspect_floor_level, 0,
+                         kNumBrownoutLevels - 1);
+  // Suspect requests never run richer than the floor, but an overload
+  // brownout that is already deeper stays in charge.
+  if (options->brownout_level < floor) {
+    BrownoutController::ApplyLevel(floor, options);
+  }
+  Metrics().adv_pre_degraded.Increment();
+}
+
 void ServeFrontEnd::ObserveQueue(uint64_t now_us) {
   std::lock_guard<std::mutex> lock(mu_);
   FrontEndMetrics& m = Metrics();
@@ -337,6 +356,12 @@ void ServeFrontEnd::ObserveQueue(uint64_t now_us) {
 Status ServeFrontEnd::Serve(const Text2SqlSample& sample, std::string* sql,
                             ServeReport* report) {
   FrontEndMetrics& m = Metrics();
+  // Hardening is pure — run it outside the mutex so hostile input never
+  // extends the critical section.
+  HardenResult hardened;
+  if (options_.harden.enabled) {
+    hardened = HardenQuestion(sample.question, options_.harden);
+  }
   uint64_t now = WallNowUs();
   ServeOptions options;
   {
@@ -362,9 +387,23 @@ Status ServeFrontEnd::Serve(const Text2SqlSample& sample, std::string* sql,
     ++in_flight_;
   }
 
+  const Text2SqlSample* request = &sample;
+  Text2SqlSample sanitized_sample;
+  if (options_.harden.enabled) {
+    if (hardened.sanitized != sample.question) {
+      sanitized_sample = sample;
+      sanitized_sample.question = hardened.sanitized;
+      request = &sanitized_sample;
+    }
+    if (hardened.suspect) {
+      MarkSuspect(&options, std::move(hardened.canonical));
+    }
+  }
+
   ServeReport scratch;
   ServeReport& rep = report != nullptr ? *report : scratch;
-  std::string out = pipeline_->PredictGuarded(*bench_, sample, options, &rep);
+  std::string out =
+      pipeline_->PredictGuarded(*bench_, *request, options, &rep);
 
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -417,9 +456,22 @@ bool ServeFrontEnd::TryServeAsync(
            ServeReport());
       return;
     }
+    const Text2SqlSample* request = &sample;
+    Text2SqlSample sanitized_sample;
+    if (options_.harden.enabled) {
+      HardenResult hardened = HardenQuestion(sample.question, options_.harden);
+      if (hardened.sanitized != sample.question) {
+        sanitized_sample = sample;
+        sanitized_sample.question = hardened.sanitized;
+        request = &sanitized_sample;
+      }
+      if (hardened.suspect) {
+        MarkSuspect(&options, std::move(hardened.canonical));
+      }
+    }
     ServeReport report;
     std::string sql =
-        pipeline_->PredictGuarded(*bench_, sample, options, &report);
+        pipeline_->PredictGuarded(*bench_, *request, options, &report);
     {
       std::lock_guard<std::mutex> lock(mu_);
       CompleteLocked(options, report, WallNowUs());

@@ -14,6 +14,7 @@
 #include "serve/admission.h"
 #include "serve/brownout.h"
 #include "serve/circuit_breaker.h"
+#include "serve/harden.h"
 
 namespace codes {
 namespace serve {
@@ -46,6 +47,12 @@ struct FrontEndOptions {
   ExecLimits limits;
   /// Deadline assigned to requests that arrive without one (0 = none).
   uint64_t default_deadline_us = 0;
+  /// Request-hardening front door (UTF-8 repair, byte cap, control strip,
+  /// anomaly scoring). Applied on the wall-clock paths before the
+  /// pipeline sees the question; the explicit-time API leaves hardening
+  /// to its single owner (codes_load hardens on the DES driver thread)
+  /// and only supplies MarkSuspect for the verdict.
+  HardenOptions harden;
   /// Tenant display names, parallel to admission.tenants. When non-empty,
   /// every offer/admit/reject/shed is also attributed to a
   /// serve.tenant.<name>.* counter family so the global sum invariant can
@@ -123,6 +130,16 @@ class ServeFrontEnd {
   /// serve.queue.depth / serve.brownout.level gauges. Call whenever depth
   /// changes (arrivals, dispatches).
   void ObserveQueue(uint64_t now_us);
+
+  /// Marks a request suspect after its hardening verdict: stamps the
+  /// suspect flag and the canonical retry question into `options`, and
+  /// raises its brownout richness floor to HardenOptions::
+  /// suspect_floor_level (never lowers an already deeper brownout).
+  /// Thread-safe and lock-free — it only reads construction-time options
+  /// and bumps the serve.adv.pre_degraded counter — so both the DES
+  /// driver and the wall-clock paths call it directly.
+  void MarkSuspect(ServeOptions* options,
+                   std::string canonical_question) const;
 
   int brownout_level() const { return brownout_.level(); }
   const BrownoutController& brownout() const { return brownout_; }

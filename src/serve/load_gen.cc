@@ -14,6 +14,8 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "dataset/perturb.h"
+#include "serve/harden.h"
 
 namespace codes {
 namespace serve {
@@ -49,6 +51,10 @@ struct Slot {
   ServeOptions options;
   ServeReport report;
   std::string sql;
+  /// Owns the request's sample when it differs from the dev set's copy
+  /// (mutated and/or hardened questions); the pool task reads it until
+  /// the promise is fulfilled, and slots never reallocate.
+  Text2SqlSample sample_storage;
   uint64_t deadline_us = 0;
   uint64_t finish_us = 0;
   std::future<void> ready;
@@ -87,6 +93,12 @@ uint64_t VirtualServiceUs(uint64_t seed, uint64_t id, int level,
 double LoadReport::GoodputQps() const {
   if (end_us == 0) return 0.0;
   return static_cast<double>(served_within_deadline) /
+         (static_cast<double>(end_us) * 1e-6);
+}
+
+double LoadReport::VerifiedGoodputQps() const {
+  if (end_us == 0) return 0.0;
+  return static_cast<double>(verified_within_deadline) /
          (static_cast<double>(end_us) * 1e-6);
 }
 
@@ -129,6 +141,19 @@ std::string LoadReport::Summary() const {
                 "goodput: %.1f qps over %.3f virtual seconds\n",
                 GoodputQps(), static_cast<double>(end_us) * 1e-6);
   out += buf;
+  // The adversarial block renders only when adversarial machinery fired,
+  // so clean campaigns keep their pre-hardening stdout byte-for-byte.
+  if (adv_offered > 0 || suspect > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "adversarial: offered=%" PRIu64 " suspect=%" PRIu64
+                  " canonical_retries=%" PRIu64 " canonical_served=%" PRIu64
+                  "\n",
+                  adv_offered, suspect, canonical_retries, canonical_served);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "verified goodput: %.1f qps\n",
+                  VerifiedGoodputQps());
+    out += buf;
+  }
   if (!tenants.empty()) {
     std::snprintf(buf, sizeof(buf),
                   "admission: rejected_tenant_rate=%" PRIu64 "\n",
@@ -198,9 +223,17 @@ LoadReport RunLoadCampaign(const CodesPipeline& pipeline,
       }
     }
   }
+  // Adversarial mix: which requests mutate, how, and into what — all
+  // derived up front on this thread from an rng stream independent of the
+  // arrival clock and the tenant mix. Each id draws coin, kind, and
+  // mutation seed unconditionally, so two campaigns differing only in
+  // adv_rate mutate nested subsets of the same requests.
+  std::vector<uint8_t> is_adv(n, 0);
+  std::vector<std::string> mutated(n);
   {
     Rng rng(options.seed ^ 0xA881ULL);
     Rng mix_rng(options.seed ^ 0x7E4A17ULL);
+    Rng adv_rng(options.seed ^ 0xADF17ULL);
     double rate = std::max(options.offered_qps, 1e-6);
     double t = 0.0;
     std::vector<double> weights(options.tenants.size(), 0.0);
@@ -229,6 +262,17 @@ LoadReport RunLoadCampaign(const CodesPipeline& pipeline,
       } else {
         sample_of[id] = id % bench.dev.size();
       }
+      if (options.adv_rate > 0.0) {
+        double coin = adv_rng.UniformDouble();
+        auto kind = static_cast<QuestionMutation>(
+            adv_rng.Index(static_cast<size_t>(kNumQuestionMutations)));
+        uint64_t mutation_seed = adv_rng.Next();
+        if (coin < options.adv_rate) {
+          is_adv[id] = 1;
+          mutated[id] = MutateQuestion(bench.dev[sample_of[id]].question,
+                                       kind, mutation_seed);
+        }
+      }
     }
   }
 
@@ -249,15 +293,35 @@ LoadReport RunLoadCampaign(const CodesPipeline& pipeline,
         slot.lease = options.tenant_attach(tenant_of[id]);
         slot.options.value_retriever = slot.lease.get();
       }
+      // Mutation and hardening happen here, on the DES thread, before
+      // the virtual cost is priced: a suspect's raised brownout floor
+      // makes it cheaper in virtual time exactly as it would be in real
+      // serving.
+      const Text2SqlSample* sample = &bench.dev[sample_of[id]];
+      if (is_adv[id] != 0 || options.harden) {
+        slot.sample_storage = *sample;
+        if (is_adv[id] != 0) slot.sample_storage.question = mutated[id];
+        if (options.harden) {
+          HardenResult hardened = HardenQuestion(
+              slot.sample_storage.question, options.front_end.harden);
+          if (hardened.sanitized != slot.sample_storage.question) {
+            slot.sample_storage.question = hardened.sanitized;
+          }
+          if (hardened.suspect) {
+            front_end.MarkSuspect(&slot.options,
+                                  std::move(hardened.canonical));
+          }
+        }
+        sample = &slot.sample_storage;
+      }
       uint64_t service = VirtualServiceUs(options.seed, id,
                                           slot.options.brownout_level,
                                           options.service_base_us);
-      const Text2SqlSample& sample = bench.dev[sample_of[id]];
       auto done = std::make_shared<std::promise<void>>();
       slot.ready = done->get_future();
-      pool.Submit([&pipeline, &bench, &sample, &slot,
+      pool.Submit([&pipeline, &bench, sample, &slot,
                    done = std::move(done)]() {
-        slot.sql = pipeline.PredictGuarded(bench, sample, slot.options,
+        slot.sql = pipeline.PredictGuarded(bench, *sample, slot.options,
                                            &slot.report);
         done->set_value();
       });
@@ -332,6 +396,13 @@ LoadReport RunLoadCampaign(const CodesPipeline& pipeline,
                      : nullptr;
     std::snprintf(line, sizeof(line), "%zu ", id);
     digest.Add(line);
+    if (is_adv[id] != 0) {
+      // The mutation label is part of the determinism contract for
+      // adversarial campaigns; clean requests (and clean campaigns) fold
+      // the exact pre-adversarial byte stream.
+      digest.Add("adv ");
+      ++report.adv_offered;
+    }
     if (row != nullptr) {
       // Tenant labels are part of the determinism contract in a mix:
       // a reassignment across thread counts must poison the digest.
@@ -378,10 +449,17 @@ LoadReport RunLoadCampaign(const CodesPipeline& pipeline,
         if (slot.deadline_us == 0 || slot.finish_us <= slot.deadline_us) {
           ++report.served_within_deadline;
           if (row != nullptr) ++row->served_within_deadline;
+          if (slot.report.execution_verified) {
+            ++report.verified_within_deadline;
+          }
         } else {
           ++report.served_late;
         }
         if (slot.report.execution_verified) ++report.verified;
+        if (slot.options.suspect) ++report.suspect;
+        report.canonical_retries +=
+            static_cast<uint64_t>(slot.report.canonical_retries);
+        if (slot.report.canonical_served) ++report.canonical_served;
         std::snprintf(line, sizeof(line), "served t=%" PRIu64 " ",
                       slot.finish_us);
         digest.Add(line);

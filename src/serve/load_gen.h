@@ -52,6 +52,20 @@ struct LoadGenOptions {
   /// Optional failpoint campaign spec, configured with `seed`.
   std::string failpoint_spec;
 
+  /// Fraction of requests mutated by dataset/perturb's online question
+  /// mutations (synonym / typo / paraphrase / value-swap / schema-noise)
+  /// before dispatch — `codes_load --adv`. Every request draws its
+  /// mutation coin, kind, and seed from an rng stream independent of the
+  /// arrival clock, so changing the rate changes *which* requests mutate
+  /// without moving a single arrival. 0 = legacy clean campaign,
+  /// byte-identical digest.
+  double adv_rate = 0.0;
+  /// Run each dispatched question through the serve-side hardening pass
+  /// (sanitize, suspect verdict, canonical-retry marking, brownout floor)
+  /// on the DES thread, as a live front door would. Off by default so
+  /// campaigns recorded before hardening keep their digests.
+  bool harden = false;
+
   /// Multi-tenant traffic mix; empty = legacy single-tenant campaign
   /// whose report, Summary, and digest are byte-identical to builds that
   /// predate tenancy. Tenant ids are indexes into this vector and must
@@ -87,6 +101,16 @@ struct LoadReport {
   uint64_t served_within_deadline = 0;
   uint64_t served_late = 0;
   uint64_t verified = 0;
+  /// Served within deadline AND execution-verified — the numerator of
+  /// goodput-under-perturbation. Plain goodput cannot see quality loss:
+  /// virtual service time never consults verification, so a perturbed
+  /// campaign only moves this counter.
+  uint64_t verified_within_deadline = 0;
+  /// Adversarial traffic accounting; all zero in clean campaigns.
+  uint64_t adv_offered = 0;        ///< requests mutated before dispatch
+  uint64_t suspect = 0;            ///< flagged suspect by hardening at dispatch
+  uint64_t canonical_retries = 0;  ///< canonical-question retries spent
+  uint64_t canonical_served = 0;   ///< retries whose SQL verified
   uint64_t served_at_level[kNumBrownoutLevels] = {0, 0, 0, 0, 0};
   uint64_t brownout_degrades = 0;
   uint64_t brownout_recoveries = 0;
@@ -114,6 +138,10 @@ struct LoadReport {
 
   /// Requests served before their deadline per virtual second.
   double GoodputQps() const;
+  /// Requests served before their deadline *and* execution-verified, per
+  /// virtual second: the goodput-under-perturbation number codes_load
+  /// reports and BENCH_throughput.json tracks.
+  double VerifiedGoodputQps() const;
   /// Same, for one tenant row.
   double TenantGoodputQps(size_t row) const;
   /// Deterministic multi-line rendering (campaign stdout).

@@ -98,6 +98,56 @@ TEST(StringUtilTest, IdentifierToPhrase) {
   EXPECT_EQ(IdentifierToPhrase("avg_salary_usd"), "avg salary usd");
 }
 
+TEST(StringUtilTest, IsValidUtf8AcceptsWellFormedSequences) {
+  EXPECT_TRUE(IsValidUtf8(""));
+  EXPECT_TRUE(IsValidUtf8("plain ascii question?"));
+  EXPECT_TRUE(IsValidUtf8("caf\xC3\xA9"));                  // U+00E9
+  EXPECT_TRUE(IsValidUtf8("\xE6\xAD\x8C\xE6\x89\x8B"));     // CJK, 3-byte
+  EXPECT_TRUE(IsValidUtf8("\xF0\x9F\x8E\xB5"));             // U+1F3B5, 4-byte
+  EXPECT_TRUE(IsValidUtf8("\xEF\xBF\xBD"));                 // U+FFFD itself
+}
+
+TEST(StringUtilTest, IsValidUtf8RejectsIllFormedSequences) {
+  EXPECT_FALSE(IsValidUtf8("\x80")) << "stray continuation byte";
+  EXPECT_FALSE(IsValidUtf8("abc\xBFxyz")) << "stray continuation byte";
+  EXPECT_FALSE(IsValidUtf8("\xC3")) << "truncated 2-byte sequence";
+  EXPECT_FALSE(IsValidUtf8("\xE6\xAD")) << "truncated 3-byte sequence";
+  EXPECT_FALSE(IsValidUtf8("\xF0\x9F\x8E")) << "truncated 4-byte sequence";
+  EXPECT_FALSE(IsValidUtf8("\xC0\xAF")) << "overlong 2-byte encoding of /";
+  EXPECT_FALSE(IsValidUtf8("\xC1\xBF")) << "0xC1 lead is always overlong";
+  EXPECT_FALSE(IsValidUtf8("\xE0\x80\xAF")) << "overlong 3-byte encoding";
+  EXPECT_FALSE(IsValidUtf8("\xF0\x80\x80\xAF")) << "overlong 4-byte";
+  EXPECT_FALSE(IsValidUtf8("\xED\xA0\x80")) << "UTF-16 surrogate U+D800";
+  EXPECT_FALSE(IsValidUtf8("\xF4\x90\x80\x80")) << "past U+10FFFF";
+  EXPECT_FALSE(IsValidUtf8("\xF5\x80\x80\x80")) << "invalid lead 0xF5";
+  EXPECT_FALSE(IsValidUtf8("\xC3\x28")) << "non-continuation second byte";
+}
+
+TEST(StringUtilTest, RepairUtf8IsIdentityOnValidInput) {
+  EXPECT_EQ(RepairUtf8(""), "");
+  EXPECT_EQ(RepairUtf8("plain"), "plain");
+  EXPECT_EQ(RepairUtf8("caf\xC3\xA9"), "caf\xC3\xA9");
+}
+
+TEST(StringUtilTest, RepairUtf8ReplacesEachBadByteDeterministically) {
+  // One U+FFFD per ill-formed byte, never a merged or dropped run: the
+  // repaired length is a pure function of the input.
+  const std::string r = "\xEF\xBF\xBD";
+  EXPECT_EQ(RepairUtf8("\x80"), r);
+  EXPECT_EQ(RepairUtf8("a\xC3z"), "a" + r + "z") << "truncated mid-string";
+  EXPECT_EQ(RepairUtf8("\xC3"), r) << "truncated at end";
+  EXPECT_EQ(RepairUtf8("\xC0\xAF"), r + r) << "overlong: both bytes bad";
+  EXPECT_EQ(RepairUtf8("\xED\xA0\x80"), r + r + r) << "surrogate";
+  EXPECT_EQ(RepairUtf8("ok \xF0\x9F\x8E"), "ok " + r + r + r)
+      << "truncated 4-byte tail";
+  // Valid sequences around the damage pass through byte-exact.
+  EXPECT_EQ(RepairUtf8("\xE6\xAD\x8C\xFF\xE6\x89\x8B"),
+            "\xE6\xAD\x8C" + r + "\xE6\x89\x8B");
+  // Idempotent: repairing repaired text changes nothing.
+  std::string once = RepairUtf8("q\xC1\xBF\xF5 end");
+  EXPECT_EQ(RepairUtf8(once), once);
+}
+
 TEST(RngTest, Deterministic) {
   Rng a(7);
   Rng b(7);

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <thread>
+
 #include "dataset/benchmark_builder.h"
 #include "common/string_util.h"
 #include "dataset/perturb.h"
@@ -142,6 +145,99 @@ TEST_F(PerturbTest, KeywordCarrierWrapsQuestions) {
       EXPECT_EQ(s.question.rfind("Could you tell me ", 0), 0u);
     }
   }
+}
+
+// ----------------------------------------------- online question mutations
+
+TEST_F(PerturbTest, MutateQuestionIsPureInItsSeed) {
+  const std::string q = "List the name of every singer from 'France'.";
+  for (int k = 0; k < kNumQuestionMutations; ++k) {
+    auto kind = static_cast<QuestionMutation>(k);
+    EXPECT_EQ(MutateQuestion(q, kind, 99), MutateQuestion(q, kind, 99))
+        << QuestionMutationName(kind);
+  }
+  // The typo stream actually depends on the seed (dictionary mutations may
+  // coincide when every coin lands the same way; edits cannot).
+  EXPECT_NE(MutateQuestion(q, QuestionMutation::kTypo, 1),
+            MutateQuestion(q, QuestionMutation::kTypo, 2));
+}
+
+TEST_F(PerturbTest, MutateQuestionKeepsQuotedValuesIntactExceptValueSwap) {
+  const std::string q = "Find all concerts held in 'New York' since 2010.";
+  for (QuestionMutation kind : {QuestionMutation::kSynonym,
+                                QuestionMutation::kTypo,
+                                QuestionMutation::kParaphrase}) {
+    std::string out = MutateQuestion(q, kind, 5);
+    EXPECT_NE(out.find("'New York'"), std::string::npos)
+        << QuestionMutationName(kind) << ": " << out;
+  }
+}
+
+TEST_F(PerturbTest, MutateQuestionDeterministicAcrossThreads) {
+  // The load generator derives every mutation on its DES driver thread,
+  // but the campaign's determinism story is simpler to defend when the
+  // mutation itself is thread-invariant: 8 threads recomputing the same
+  // (question, kind, seed) grid must reproduce the serial outputs
+  // byte-for-byte.
+  struct Case {
+    std::string question;
+    QuestionMutation kind;
+    uint64_t seed;
+  };
+  std::vector<Case> cases;
+  for (size_t i = 0; i < spider_->dev.size(); ++i) {
+    for (int k = 0; k < kNumQuestionMutations; ++k) {
+      cases.push_back(Case{spider_->dev[i].question,
+                           static_cast<QuestionMutation>(k),
+                           i * 31 + static_cast<uint64_t>(k)});
+    }
+  }
+  std::vector<std::string> serial;
+  serial.reserve(cases.size());
+  for (const Case& c : cases) {
+    serial.push_back(MutateQuestion(c.question, c.kind, c.seed));
+  }
+  std::vector<std::vector<std::string>> parallel(8);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&cases, &parallel, t]() {
+      parallel[static_cast<size_t>(t)].reserve(cases.size());
+      for (const Case& c : cases) {
+        parallel[static_cast<size_t>(t)].push_back(
+            MutateQuestion(c.question, c.kind, c.seed));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (const auto& outputs : parallel) EXPECT_EQ(outputs, serial);
+}
+
+TEST_F(PerturbTest, MutationCorpusReplays) {
+  // tests/fuzz_corpus/perturb.corpus pins (kind, seed, question) ->
+  // output. A mismatch means the mutation streams moved, which silently
+  // invalidates every recorded adversarial campaign digest — regenerate
+  // the corpus and the BENCH numbers together, deliberately.
+  std::ifstream in(std::string(CODES_FUZZ_CORPUS_DIR) + "/perturb.corpus");
+  ASSERT_TRUE(in.good()) << "missing perturb.corpus";
+  std::string line;
+  int replayed = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> fields = Split(line, '\t');
+    ASSERT_EQ(fields.size(), 4u) << line;
+    QuestionMutation kind = QuestionMutation::kNumMutations;
+    for (int k = 0; k < kNumQuestionMutations; ++k) {
+      if (fields[0] == QuestionMutationName(static_cast<QuestionMutation>(k))) {
+        kind = static_cast<QuestionMutation>(k);
+      }
+    }
+    ASSERT_NE(kind, QuestionMutation::kNumMutations) << fields[0];
+    uint64_t seed = 0;
+    ASSERT_TRUE(ParseUint64(fields[1], &seed)) << line;
+    EXPECT_EQ(MutateQuestion(fields[2], kind, seed), fields[3]) << line;
+    ++replayed;
+  }
+  EXPECT_GE(replayed, 12);
 }
 
 }  // namespace

@@ -24,6 +24,18 @@
 //                                             metric invariants asserted,
 //                                             1-vs-8-thread determinism
 //                                             check)
+//   adv-smoke           codes_load --adv --smoke (fixed-seed adversarial
+//                                             campaign: 30% of questions
+//                                             mutated online, hardening
+//                                             front door on, goodput-
+//                                             under-perturbation >= 80%
+//                                             of clean asserted, the
+//                                             serve.adv.* partition
+//                                             invariant checked, 1-vs-8-
+//                                             thread determinism check)
+//
+// --adv on a plain campaign mixes mutated questions at --adv-rate and
+// turns the hardening front door on.
 //
 // --qps is the offered (arrival) rate; virtual capacity is
 // --workers * 1e6 / --service-us, so --qps=2x capacity is a saturation
@@ -65,6 +77,8 @@ struct Flags {
   size_t queue = 64;
   double rate_limit = 0.0;  ///< token-bucket qps; <= 0 disables
   std::string metrics_out;  ///< JSON metrics snapshot path (optional)
+  bool adv = false;         ///< adversarial traffic + hardening front door
+  double adv_rate = 0.3;    ///< fraction of questions mutated when --adv
   bool smoke = false;
   bool mt_smoke = false;
   bool selfcheck = false;
@@ -89,6 +103,7 @@ void Usage() {
       "                  [--service-us=N] [--deadline-us=N] [--threads=N]\n"
       "                  [--seed=S] [--rate=P] [--spec=SPEC] [--queue=N]\n"
       "                  [--rate-limit=Q] [--metrics-out=PATH]\n"
+      "                  [--adv] [--adv-rate=P]\n"
       "                  [--selfcheck] [--smoke] [--mt-smoke]\n");
 }
 
@@ -155,6 +170,26 @@ int CheckSumInvariant(const codes::MetricsSnapshot& snapshot,
                 offered);
   }
   return bad;
+}
+
+/// The adversarial partition contract: every PredictGuarded call lands in
+/// exactly one of serve.adv.clean / serve.adv.suspect, so the pair sums
+/// to serve.requests. CI asserts the same identity from the JSON snapshot.
+int CheckAdvInvariant(const codes::MetricsSnapshot& snapshot) {
+  uint64_t clean = CounterOr0(snapshot, "serve.adv.clean");
+  uint64_t suspect = CounterOr0(snapshot, "serve.adv.suspect");
+  uint64_t requests = CounterOr0(snapshot, "serve.requests");
+  if (clean + suspect != requests) {
+    std::printf("INVARIANT VIOLATION: serve.adv.clean=%" PRIu64
+                " + serve.adv.suspect=%" PRIu64 " != serve.requests=%" PRIu64
+                "\n",
+                clean, suspect, requests);
+    return 1;
+  }
+  std::printf("metrics: serve.adv.clean + serve.adv.suspect == "
+              "serve.requests == %" PRIu64 "\n",
+              requests);
+  return 0;
 }
 
 /// Per-tenant admission accounting: for every tenant family the exported
@@ -454,6 +489,131 @@ int RunMtSmoke(const Flags& flags) {
   return exit_code;
 }
 
+/// The adversarial serving smoke: one clean reference campaign and one
+/// --adv-rate-perturbed campaign over the same arrival schedule, with the
+/// hardening front door on in both. Asserts:
+///   - the global admission sum invariant and the adversarial partition
+///     serve.adv.clean + serve.adv.suspect == serve.requests,
+///   - mutations flowed (adv_offered > 0) and the hardening detector
+///     actually fired on them (suspect > 0),
+///   - verified goodput under perturbation keeps >= 80% of the clean
+///     campaign's verified goodput,
+///   - 1-vs-8-thread byte-identical digest and deterministic metrics.
+int RunAdvSmoke(const Flags& flags) {
+  auto start = std::chrono::steady_clock::now();
+
+  auto bench = codes::BuildTinySpiderLike(2024);
+  codes::LmZoo zoo(1, 31);
+  codes::PipelineConfig config;
+  config.size = codes::ModelSize::k7B;
+  codes::CodesPipeline pipeline(config, zoo.CodesFor(config.size));
+  pipeline.TrainClassifier(bench);
+  pipeline.FineTune(bench);
+
+  // 2x saturation like --smoke: capacity 4 workers / 20 ms = 200 qps,
+  // offered 400 qps, so the brownout ladder is live in both campaigns.
+  codes::serve::LoadGenOptions adv;
+  adv.seed = 20240809;
+  adv.num_requests = 600;
+  adv.offered_qps = 400.0;
+  adv.virtual_workers = 4;
+  adv.service_base_us = 20'000;
+  adv.deadline_us = 200'000;
+  adv.threads = 8;
+  adv.front_end.admission.queue_capacity = 64;
+  adv.harden = true;
+  adv.adv_rate = flags.adv_rate;
+
+  // Clean reference: the identical schedule with zero mutations prices
+  // what verified goodput costs on this fixture.
+  codes::serve::LoadGenOptions clean = adv;
+  clean.adv_rate = 0.0;
+
+  pipeline.ClearRetrieverCache();
+  codes::MetricsRegistry::Global().Reset();
+  codes::serve::LoadReport clean_report =
+      codes::serve::RunLoadCampaign(pipeline, bench, clean);
+
+  pipeline.ClearRetrieverCache();
+  codes::MetricsRegistry::Global().Reset();
+  codes::serve::LoadReport report =
+      codes::serve::RunLoadCampaign(pipeline, bench, adv);
+  codes::MetricsSnapshot snapshot =
+      codes::MetricsRegistry::Global().Snapshot();
+
+  std::printf("adv campaign: requests=%d qps=%.1f adv_rate=%.2f seed=%"
+              PRIu64 "\n",
+              adv.num_requests, adv.offered_qps, adv.adv_rate, adv.seed);
+  std::fputs(report.Summary().c_str(), stdout);
+
+  int exit_code = 0;
+  if (CheckSumInvariant(snapshot, report) != 0) exit_code = 1;
+  if (CheckAdvInvariant(snapshot) != 0) exit_code = 1;
+  if (report.adv_offered == 0) {
+    std::printf("INVARIANT VIOLATION: no requests were mutated at "
+                "adv_rate=%.2f\n",
+                adv.adv_rate);
+    exit_code = 1;
+  }
+  if (report.suspect == 0) {
+    std::printf("INVARIANT VIOLATION: hardening flagged no request suspect "
+                "under adversarial traffic\n");
+    exit_code = 1;
+  }
+
+  double clean_goodput = clean_report.VerifiedGoodputQps();
+  double adv_goodput = report.VerifiedGoodputQps();
+  double retention = clean_goodput > 0.0 ? adv_goodput / clean_goodput : 1.0;
+  std::printf("goodput under perturbation: %.1f qps vs %.1f qps clean "
+              "(retention %.0f%%) %s\n",
+              adv_goodput, clean_goodput, 100.0 * retention,
+              retention >= 0.8 ? "ok" : "VIOLATION");
+  if (retention < 0.8) exit_code = 1;
+
+  if (!flags.metrics_out.empty()) {
+    std::FILE* out = std::fopen(flags.metrics_out.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", flags.metrics_out.c_str());
+      return 2;
+    }
+    std::string json = snapshot.ToJson() + "\n";
+    std::fwrite(json.data(), 1, json.size(), out);
+    std::fclose(out);
+    std::fprintf(stderr, "metrics snapshot written to %s\n",
+                 flags.metrics_out.c_str());
+  }
+
+  // Determinism selfcheck: mutation choice, hardening verdicts, and the
+  // canonical retries all happen on the DES thread at virtual timestamps,
+  // so the 1-thread replay must match byte-for-byte.
+  std::string view = DeterministicView(snapshot).ToJson();
+  pipeline.ClearRetrieverCache();
+  codes::MetricsRegistry::Global().Reset();
+  codes::serve::LoadGenOptions serial = adv;
+  serial.threads = 1;
+  codes::serve::LoadReport replay =
+      codes::serve::RunLoadCampaign(pipeline, bench, serial);
+  std::string serial_view =
+      DeterministicView(codes::MetricsRegistry::Global().Snapshot())
+          .ToJson();
+  if (replay.digest == report.digest && serial_view == view) {
+    std::printf("selfcheck: 1-thread replay digest and metrics match\n");
+  } else {
+    std::printf("selfcheck FAILED: 8-thread digest %016" PRIx64
+                " != 1-thread digest %016" PRIx64 " (metrics %s)\n",
+                report.digest, replay.digest,
+                serial_view == view ? "match" : "differ");
+    exit_code = 1;
+  }
+
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  std::fprintf(stderr, "elapsed: %lld ms (adv-smoke)\n",
+               static_cast<long long>(elapsed));
+  return exit_code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -485,6 +645,10 @@ int main(int argc, char** argv) {
       ok = codes::ParseFiniteDouble(value, &flags.rate_limit);
     } else if (ParseFlag(argv[i], "--metrics-out", &value)) {
       flags.metrics_out = value;
+    } else if (ParseFlag(argv[i], "--adv-rate", &value)) {
+      ok = codes::ParseFiniteDouble(value, &flags.adv_rate);
+    } else if (ParseFlag(argv[i], "--adv", &value)) {
+      flags.adv = true;
     } else if (ParseFlag(argv[i], "--selfcheck", &value)) {
       flags.selfcheck = true;
     } else if (ParseFlag(argv[i], "--smoke", &value)) {
@@ -502,7 +666,33 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  // Range validation with a diagnostic per offending flag — a silent
+  // usage dump is indistinguishable from a typo in the flag name.
+  bool range_ok = true;
+  auto require = [&range_ok](bool ok_cond, const char* diagnostic) {
+    if (!ok_cond) {
+      std::fprintf(stderr, "%s\n", diagnostic);
+      range_ok = false;
+    }
+  };
+  require(flags.requests >= 1, "--requests must be >= 1");
+  require(flags.qps > 0.0, "--qps must be > 0");
+  require(flags.workers >= 1, "--workers must be >= 1");
+  require(flags.service_us >= 1, "--service-us must be >= 1");
+  require(flags.threads >= 1, "--threads must be >= 1");
+  require(flags.rate >= 0.0 && flags.rate <= 1.0,
+          "--rate must be in [0, 1]");
+  require(flags.queue >= 1, "--queue must be >= 1");
+  require(flags.rate_limit >= 0.0, "--rate-limit must be >= 0");
+  require(flags.adv_rate >= 0.0 && flags.adv_rate <= 1.0,
+          "--adv-rate must be in [0, 1]");
+  if (!range_ok) {
+    Usage();
+    return 2;
+  }
+
   if (flags.mt_smoke) return RunMtSmoke(flags);
+  if (flags.adv && flags.smoke) return RunAdvSmoke(flags);
   if (flags.smoke) {
     // Fixed 2x-saturation configuration for ctest / CI gating: capacity is
     // 4 workers / 20 ms = 200 qps, offered 400 qps.
@@ -516,13 +706,6 @@ int main(int argc, char** argv) {
     flags.rate = 0.02;
     flags.selfcheck = true;
   }
-  if (flags.requests < 1 || flags.qps <= 0.0 || flags.workers < 1 ||
-      flags.service_us < 1 || flags.threads < 1 || flags.rate < 0.0 ||
-      flags.rate > 1.0 || flags.queue < 1) {
-    Usage();
-    return 2;
-  }
-
   codes::serve::LoadGenOptions options;
   options.seed = flags.seed;
   options.num_requests = flags.requests;
@@ -533,6 +716,10 @@ int main(int argc, char** argv) {
   options.threads = flags.threads;
   options.front_end.admission.queue_capacity = flags.queue;
   options.front_end.admission.rate_per_sec = flags.rate_limit;
+  if (flags.adv) {
+    options.adv_rate = flags.adv_rate;
+    options.harden = true;
+  }
   if (!flags.spec.empty()) {
     options.failpoint_spec = flags.spec;
   } else if (flags.rate > 0.0) {
@@ -568,6 +755,7 @@ int main(int argc, char** argv) {
 
   int exit_code = 0;
   if (CheckSumInvariant(snapshot, report) != 0) exit_code = 1;
+  if (flags.adv && CheckAdvInvariant(snapshot) != 0) exit_code = 1;
   if (report.admitted + report.rejected_rate + report.rejected_queue_full +
           report.rejected_tenant_rate + report.shed_deadline +
           report.shed_drain !=
